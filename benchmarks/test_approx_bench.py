@@ -1,0 +1,34 @@
+"""Benchmark: the approximation-ratio extension (Theorem 3, measured).
+
+The paper proves social cost ≤ 2 e H_Ω × OPT but never measures it;
+this benchmark regenerates our extension experiment comparing the
+greedy reverse auction against the exact ILP optimum on small
+instances.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_experiment
+
+from .conftest import BENCH_SEED, report
+
+
+def test_approximation_ratio(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_experiment(
+            "approx",
+            instances=5,
+            base_seed=BENCH_SEED,
+            n_tasks=20,
+            n_workers=20,
+            n_copiers=5,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    report(result)
+    for greedy, optimal in zip(result.y("RA"), result.y("OPT")):
+        assert greedy >= optimal - 1e-9
+    assert result.meta["mean_ratio"] < 2.0
+    for ratio, bound in zip(result.y("ratio"), result.meta["theoretical_bounds"]):
+        assert ratio <= bound

@@ -1,0 +1,56 @@
+"""Benchmarks: regenerate Fig. 3 (sensitivity of DATE to ε, α, and r).
+
+Paper: precision is insensitive to ε and α (flat 0.82-0.92 band across
+[0.1, 0.9]²), but rises with the assumed copy probability r up to
+r ≈ 0.4 and then plateaus.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import run_experiment
+
+from .conftest import BENCH_SCALE, BENCH_SEED, report
+
+
+def test_fig3a_epsilon_alpha_insensitivity(benchmark):
+    # The flatness claim is asserted for ε above the random-guess
+    # accuracy 1/(num_j + 1) = 1/3: below it the Bayesian odds factor
+    # num·A/(1-A) < 1 makes the posterior anti-majority by construction
+    # and precision degrades (documented deviation, EXPERIMENTS.md).
+    result = benchmark.pedantic(
+        lambda: run_experiment(
+            "fig3a",
+            scale=BENCH_SCALE,
+            base_seed=BENCH_SEED,
+            epsilon_grid=(0.4, 0.5, 0.7, 0.9),
+            alpha_grid=(0.1, 0.5, 0.9),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    report(result)
+    values = [y for name in result.series_names for y in result.y(name)]
+    spread = max(values) - min(values)
+    # Paper: fluctuation stays within a ~0.1 band.
+    assert spread <= 0.15, f"precision spread {spread:.3f} too large"
+    assert min(values) > 0.6
+
+
+def test_fig3b_r_sensitivity(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_experiment(
+            "fig3b",
+            scale=BENCH_SCALE,
+            base_seed=BENCH_SEED,
+            r_grid=(0.1, 0.2, 0.4, 0.6, 0.8),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    report(result)
+    curve = np.array(result.y("DATE"))
+    # Precision at moderate-to-high assumed r must not fall below the
+    # too-low-r region (the paper's rise-then-plateau shape).
+    assert curve[2:].mean() >= curve[0] - 0.02

@@ -1,0 +1,55 @@
+"""Benchmarks: regenerate Fig. 4 (precision vs tasks / workers).
+
+Paper: DATE beats MV and NC (avg +8.4% / +7.4% precision); ED edges
+DATE (+0.8%); precision declines slightly with more tasks (later tasks
+receive fewer answers) and rises with more workers.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_experiment
+
+from .conftest import BENCH_SCALE, BENCH_SEED, report, series_mean
+
+
+def test_fig4a_precision_vs_tasks(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_experiment(
+            "fig4a",
+            scale=BENCH_SCALE,
+            base_seed=BENCH_SEED,
+            task_grid=(20, 40, 60),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    report(result)
+    date = series_mean(result, "DATE")
+    assert date >= series_mean(result, "MV")
+    assert date >= series_mean(result, "NC") - 0.01
+    # Paper: ED >= DATE (+0.8% at full scale).  With tightly clustered
+    # copiers ED's all-co-provider discount can beat DATE's prefix-only
+    # discount by much more at reduced scale; assert the ordering only.
+    assert series_mean(result, "ED") >= date - 0.02
+    assert series_mean(result, "ED") >= series_mean(result, "MV") - 0.02
+    # Declining-with-tasks trend (first point vs last point).
+    assert result.y("DATE")[0] >= result.y("DATE")[-1] - 0.05
+
+
+def test_fig4b_precision_vs_workers(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_experiment(
+            "fig4b",
+            scale=BENCH_SCALE,
+            base_seed=BENCH_SEED,
+            worker_grid=(14, 26, 40),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    report(result)
+    # Rising-with-workers trend for every algorithm.
+    for name in result.series_names:
+        curve = result.y(name)
+        assert curve[-1] >= curve[0] - 0.02, f"{name} did not improve"
+    assert series_mean(result, "DATE") >= series_mean(result, "MV")

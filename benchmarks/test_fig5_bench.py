@@ -1,0 +1,46 @@
+"""Benchmarks: regenerate Fig. 5 (truth-discovery running time).
+
+Paper: running time rises with both tasks and workers; ED (exponential
+dependence enumeration) is the slowest by a wide margin (DATE finishes
+in ≈42.6% of ED's time at full scale); MV is the fastest.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_experiment
+
+from .conftest import BENCH_SCALE, BENCH_SEED, report, series_mean
+
+
+def test_fig5a_runtime_vs_tasks(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_experiment(
+            "fig5a",
+            scale=BENCH_SCALE,
+            base_seed=BENCH_SEED,
+            task_grid=(20, 40, 60),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    report(result)
+    assert series_mean(result, "ED") > series_mean(result, "DATE")
+    assert series_mean(result, "DATE") > series_mean(result, "MV")
+    # Rising-with-tasks trend for the heavy algorithms.
+    assert result.y("ED")[-1] >= result.y("ED")[0]
+
+
+def test_fig5b_runtime_vs_workers(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_experiment(
+            "fig5b",
+            scale=BENCH_SCALE,
+            base_seed=BENCH_SEED,
+            worker_grid=(14, 26, 40),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    report(result)
+    assert series_mean(result, "ED") > series_mean(result, "DATE")
+    assert series_mean(result, "DATE") > series_mean(result, "MV")

@@ -1,0 +1,45 @@
+"""Benchmarks: regenerate Fig. 7 (auction running time).
+
+Paper: running time rises with both dimensions; RA (O(n³m), payment
+phase reruns the greedy per winner) is the slowest, GA (O(n³)) next,
+GB (O(n²)) the fastest.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_experiment
+
+from .conftest import BENCH_SCALE, BENCH_SEED, report, series_mean
+
+
+def test_fig7a_runtime_vs_tasks(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_experiment(
+            "fig7a",
+            scale=BENCH_SCALE,
+            base_seed=BENCH_SEED,
+            task_grid=(20, 40, 60),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    report(result)
+    assert series_mean(result, "RA") > series_mean(result, "GA")
+    assert series_mean(result, "RA") > series_mean(result, "GB")
+
+
+def test_fig7b_runtime_vs_workers(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_experiment(
+            "fig7b",
+            scale=BENCH_SCALE,
+            base_seed=BENCH_SEED,
+            worker_grid=(20, 30, 40),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    report(result)
+    assert series_mean(result, "RA") > series_mean(result, "GB")
+    # Runtime grows with the worker pool.
+    assert result.y("RA")[-1] >= result.y("RA")[0]

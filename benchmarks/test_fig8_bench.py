@@ -1,0 +1,40 @@
+"""Benchmarks: regenerate Fig. 8 (truthfulness of IMC2).
+
+Paper: a winner (worker 26, cost 3) maximizes its utility (5) exactly
+at its truthful bid; a loser (worker 58, cost 8) never exceeds the 0
+utility of truthful bidding, no matter how it misreports.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_experiment
+
+from .conftest import BENCH_SCALE, BENCH_SEED, report
+
+
+def test_fig8a_winner_utility_curve(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_experiment("fig8a", scale=BENCH_SCALE, base_seed=BENCH_SEED),
+        rounds=1,
+        iterations=1,
+    )
+    report(result)
+    truthful = result.meta["truthful_utility"]
+    assert truthful >= 0.0
+    for utility in result.y("utility"):
+        assert utility <= truthful + 1e-9
+    # The curve must show both regimes: winning and (after exceeding
+    # the critical value) losing with utility 0.
+    assert any(utility == 0.0 for utility in result.y("utility"))
+
+
+def test_fig8b_loser_utility_curve(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_experiment("fig8b", scale=BENCH_SCALE, base_seed=BENCH_SEED),
+        rounds=1,
+        iterations=1,
+    )
+    report(result)
+    assert result.meta["truthful_utility"] == 0.0
+    for utility in result.y("utility"):
+        assert utility <= 1e-9

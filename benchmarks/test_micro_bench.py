@@ -1,0 +1,129 @@
+"""Micro-benchmarks of the individual pipeline stages.
+
+Not a paper artifact — these isolate where DATE and the auction spend
+their time (dependence detection, independence ordering, posterior
+update, winner selection, payment determination), which backs the
+complexity discussion in Lemma 1 and DESIGN.md §7.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import DATE, ReverseAuction, SOACInstance
+from repro.core import DatasetIndex
+from repro.core.accuracy import update_accuracy_matrix, value_posteriors
+from repro.core.dependence import compute_pairwise_dependence
+from repro.core.independence import independence_probabilities
+from repro.datasets import generate_qatar_living_like
+from repro.auction.reverse_auction import greedy_cover
+
+from .conftest import BENCH_SCALE, BENCH_SEED
+
+
+@pytest.fixture(scope="module")
+def bench_dataset():
+    return generate_qatar_living_like(
+        seed=BENCH_SEED,
+        n_tasks=BENCH_SCALE.n_tasks,
+        n_workers=BENCH_SCALE.n_workers,
+        n_copiers=BENCH_SCALE.n_copiers,
+        target_claims=BENCH_SCALE.target_claims,
+    )
+
+
+@pytest.fixture(scope="module")
+def bench_index(bench_dataset):
+    return DatasetIndex(bench_dataset)
+
+
+@pytest.fixture(scope="module")
+def bench_accuracy(bench_index):
+    return bench_index.initial_accuracy_matrix(0.5)
+
+
+@pytest.fixture(scope="module")
+def bench_dependence(bench_index, bench_accuracy):
+    return compute_pairwise_dependence(
+        bench_index,
+        bench_index.majority_vote(),
+        bench_accuracy,
+        copy_prob_r=0.4,
+        prior_alpha=0.2,
+    )
+
+
+@pytest.fixture(scope="module")
+def bench_instance(bench_dataset):
+    result = DATE().run(bench_dataset)
+    instance = SOACInstance.from_truth_discovery(bench_dataset, result)
+    return instance.with_capped_requirements(0.8)
+
+
+def test_dataset_generation(benchmark):
+    benchmark(
+        lambda: generate_qatar_living_like(
+            seed=BENCH_SEED,
+            n_tasks=BENCH_SCALE.n_tasks,
+            n_workers=BENCH_SCALE.n_workers,
+            n_copiers=BENCH_SCALE.n_copiers,
+            target_claims=BENCH_SCALE.target_claims,
+        )
+    )
+
+
+def test_index_construction(benchmark, bench_dataset):
+    def build():
+        index = DatasetIndex(bench_dataset)
+        index.pairs  # force the lazy pair tables
+        index.shared_tasks
+        return index
+
+    benchmark(build)
+
+
+def test_step1_dependence(benchmark, bench_index, bench_accuracy):
+    truths = bench_index.majority_vote()
+    benchmark(
+        lambda: compute_pairwise_dependence(
+            bench_index,
+            truths,
+            bench_accuracy,
+            copy_prob_r=0.4,
+            prior_alpha=0.2,
+        )
+    )
+
+
+def test_step2_independence(benchmark, bench_index, bench_dependence):
+    benchmark(
+        lambda: independence_probabilities(
+            bench_index, bench_dependence, copy_prob_r=0.4
+        )
+    )
+
+
+def test_step3_posteriors_and_accuracy(benchmark, bench_index, bench_accuracy):
+    def step():
+        posteriors = value_posteriors(bench_index, bench_accuracy)
+        return update_accuracy_matrix(bench_index, posteriors)
+
+    benchmark(step)
+
+
+def test_full_date_run(benchmark, bench_dataset, bench_index):
+    benchmark.pedantic(
+        lambda: DATE().run(bench_dataset, index=bench_index),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_auction_winner_selection(benchmark, bench_instance):
+    benchmark(lambda: greedy_cover(bench_instance))
+
+
+def test_auction_with_payments(benchmark, bench_instance):
+    benchmark.pedantic(
+        lambda: ReverseAuction().run(bench_instance), rounds=3, iterations=1
+    )

@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Table 1 (the motivating copier example).
+
+Paper: naive majority voting elects the copied wrong affiliations for
+Dewitt, Carey and Halevy (2/5 correct); copier-aware truth discovery
+recovers all five researchers' affiliations.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_experiment
+
+from .conftest import report
+
+
+def test_table1(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_experiment("table1"), rounds=3, iterations=1
+    )
+    report(result)
+    assert sum(result.series["MV"]) == 2
+    assert sum(result.series["NC"]) == 2
+    assert sum(result.series["DATE"]) == 5
+    assert sum(result.series["ED"]) == 5

@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""The paper's Table 1 scenario: auditing researcher affiliations.
+
+Five workers report the affiliations of five database researchers.
+Worker 1 is fully correct, but workers 4 and 5 copied worker 3 — whose
+answers are wrong for Dewitt, Carey and Halevy.  Naive majority voting
+elects the copied wrong answers; DATE detects the dependence and
+recovers every affiliation.
+
+This example walks through the internals: the dependence posteriors,
+the per-value independence discounts, and the resulting support counts,
+so you can see *why* the estimate flips.
+
+Run:  python examples/affiliation_audit.py
+"""
+
+from __future__ import annotations
+
+from repro import DATE, DateConfig, MajorityVote
+from repro.experiments.table1 import (
+    TABLE1_TRUTHS,
+    build_affiliation_example,
+)
+
+
+def main() -> None:
+    dataset = build_affiliation_example()
+
+    print("claim matrix (rows: workers, columns: researchers)")
+    tasks = [t.task_id for t in dataset.tasks]
+    header = "      " + "  ".join(f"{t[:10]:>10}" for t in tasks)
+    print(header)
+    for worker in dataset.workers:
+        row = [dataset.claims[(worker.worker_id, t)] for t in tasks]
+        marker = " (copier)" if worker.is_copier else ""
+        print("  " + worker.worker_id + "  " + "  ".join(f"{v:>10}" for v in row) + marker)
+
+    # --- Majority voting gets three answers wrong --------------------
+    mv = MajorityVote().run(dataset)
+    print("\nmajority voting:")
+    for task in tasks:
+        verdict = "OK " if mv.truths[task] == TABLE1_TRUTHS[task] else "WRONG"
+        print(f"  {task:<12} -> {mv.truths[task]:<8} [{verdict}]")
+
+    # --- DATE recovers everything ------------------------------------
+    # Wholesale copiers justify a near-1 assumed copy probability; the
+    # total-dependence discount handles the unidentifiable direction
+    # (worker 4's data is identical to worker 3's).
+    config = DateConfig(copy_prob_r=0.9, prior_alpha=0.5, discount_mode="total")
+    date = DATE(config).run(dataset)
+
+    print("\nDATE dependence posteriors (either direction):")
+    for (a, b), posterior in sorted(date.dependence.items()):
+        if posterior.p_dependent > 0.3:
+            print(f"  {a} ~ {b}: P(dependent) = {posterior.p_dependent:.2f}")
+
+    print("\nDATE estimates:")
+    for task in tasks:
+        verdict = "OK " if date.truths[task] == TABLE1_TRUTHS[task] else "WRONG"
+        support = date.support[task]
+        ranked = sorted(support.items(), key=lambda kv: -kv[1])
+        counts = ", ".join(f"{v}={s:.2f}" for v, s in ranked)
+        print(f"  {task:<12} -> {date.truths[task]:<8} [{verdict}]  support: {counts}")
+
+    recovered = sum(
+        date.truths[t] == TABLE1_TRUTHS[t] for t in tasks
+    )
+    print(f"\nDATE recovered {recovered}/5 affiliations "
+          f"(majority voting: {sum(mv.truths[t] == TABLE1_TRUTHS[t] for t in tasks)}/5)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""How close is the greedy reverse auction to the true optimum?
+
+Theorem 3 guarantees a 2eH_Ω approximation factor for the SOAC social
+cost, but worst-case bounds say little about typical campaigns.  This
+example measures the realized gap on ILP-solvable instances and prints
+both, together with the auction's payment overhead (the price of
+truthfulness: payments above the winners' declared bids).
+
+Run:  python examples/approximation_study.py
+"""
+
+from __future__ import annotations
+
+from repro import DATE, ReverseAuction, SOACInstance, solve_optimal
+from repro.auction.properties import approximation_bound
+from repro.datasets import generate_qatar_living_like
+from repro.reporting import format_table
+
+
+def main() -> None:
+    auction = ReverseAuction()
+    rows = []
+    ratios = []
+    for seed in range(8):
+        dataset = generate_qatar_living_like(
+            seed=seed, n_tasks=20, n_workers=22, n_copiers=5, target_claims=220
+        )
+        result = DATE().run(dataset)
+        instance = SOACInstance.from_truth_discovery(
+            dataset, result
+        ).with_capped_requirements(0.7)
+
+        greedy = auction.run(instance)
+        optimal = solve_optimal(instance)
+        ratio = (
+            greedy.social_cost / optimal.social_cost
+            if optimal.social_cost > 0
+            else 1.0
+        )
+        ratios.append(ratio)
+        overhead = (
+            greedy.total_payment / greedy.social_cost
+            if greedy.social_cost > 0
+            else 1.0
+        )
+        rows.append(
+            [
+                seed,
+                greedy.n_winners,
+                optimal.n_winners,
+                greedy.social_cost,
+                optimal.social_cost,
+                ratio,
+                approximation_bound(instance),
+                overhead,
+            ]
+        )
+
+    print(
+        format_table(
+            [
+                "seed",
+                "greedy |S|",
+                "opt |S|",
+                "greedy cost",
+                "opt cost",
+                "ratio",
+                "2eH bound",
+                "pay/cost",
+            ],
+            rows,
+            float_format="{:.3f}",
+        )
+    )
+    print(
+        f"\nmean realized ratio: {sum(ratios) / len(ratios):.3f} "
+        f"(worst case allowed by Theorem 3 is orders of magnitude larger)"
+    )
+    print(
+        "payment overhead ('pay/cost') is what the platform pays for "
+        "truthfulness: critical-value payments exceed declared bids."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,123 @@
+#!/usr/bin/env python
+"""Mobile crowdsensing with free-text observations and typos (Sec. IV).
+
+A city platform asks smartphone users to report which business occupies
+each storefront (the kind of POI-labelling campaign the paper's intro
+cites).  Two complications from Sec. IV appear:
+
+- **multiple presentations** — users type the same store name
+  differently ("Cafe Aroma", "Café Aroma", "cafe aroma inc"), handled
+  by the similarity-adjusted support counts (Eq. 21);
+- **non-uniform false values** — wrong answers cluster on a popular
+  misconception (the store that used to be there), handled by the
+  Zipf false-value model (Eqs. 22-23).
+
+Run:  python examples/mobile_crowdsensing.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import DATE, Dataset, DateConfig, MajorityVote, Task, WorkerProfile
+from repro.core import ZipfFalseValues
+from repro.similarity import string_similarity
+
+
+def build_storefront_campaign(seed: int = 5) -> Dataset:
+    """40 storefronts, 25 reporters, typo-prone honest answers plus a
+    popular-wrong-answer bias."""
+    rng = np.random.default_rng(seed)
+    stores = [
+        ("Cafe Aroma", ["Cafe Aroma", "Café Aroma", "cafe aroma"]),
+        ("Green Grocer", ["Green Grocer", "GreenGrocer", "Green Grocers"]),
+        ("Book Nook", ["Book Nook", "The Book Nook", "Booknook"]),
+        ("City Pharmacy", ["City Pharmacy", "City Pharm", "CityPharmacy"]),
+    ]
+    wrong = ["Old Laundromat", "Vacant", "Phone Repair"]
+
+    tasks = []
+    claims = {}
+    workers = tuple(
+        WorkerProfile(
+            worker_id=f"u{i:02d}",
+            reliability=float(rng.uniform(0.45, 0.9)),
+            cost=float(rng.uniform(1, 6)),
+        )
+        for i in range(25)
+    )
+    for j in range(40):
+        truth, variants = stores[j % len(stores)]
+        task_id = f"storefront{j:02d}"
+        tasks.append(Task(task_id=task_id, truth=truth))
+        for worker in workers:
+            if rng.random() > 0.5:
+                continue  # this user never walked past the storefront
+            if rng.random() < worker.reliability:
+                # Correct observation, possibly typed as a variant.
+                value = variants[int(rng.integers(len(variants)))]
+            else:
+                # Wrong answers are Zipf-ish: the first wrong option
+                # (the remembered previous tenant) dominates.
+                weights = np.array([0.6, 0.25, 0.15])
+                value = wrong[int(rng.choice(3, p=weights))]
+            claims[(worker.worker_id, task_id)] = value
+    return Dataset(tasks=tuple(tasks), workers=workers, claims=claims)
+
+
+def canonical(value: str) -> str:
+    return "".join(value.lower().split())
+
+
+def precision_with_variants(truths: dict[str, str], dataset: Dataset) -> float:
+    """Count an estimate correct if it canonicalizes to the truth."""
+    hits = 0
+    for task in dataset.tasks:
+        estimate = truths.get(task.task_id, "")
+        truth = task.truth or ""
+        if canonical(estimate)[:8] == canonical(truth)[:8]:
+            hits += 1
+    return hits / dataset.n_tasks
+
+
+def main() -> None:
+    dataset = build_storefront_campaign()
+    print(f"campaign: {dataset.n_tasks} storefronts, "
+          f"{dataset.n_workers} reporters, {dataset.n_claims} observations")
+
+    # Baseline: plain DATE treats every spelling as a distinct value.
+    plain = DATE(DateConfig()).run(dataset)
+
+    # Sec. IV configuration: similarity-merged support counts plus the
+    # Zipf false-value model.
+    general = DATE(
+        DateConfig(
+            similarity=string_similarity("levenshtein", threshold=0.55),
+            similarity_weight=0.8,
+            false_values=ZipfFalseValues(exponent=1.3),
+        )
+    ).run(dataset)
+
+    mv = MajorityVote().run(dataset)
+
+    print("\nstorefront identification accuracy (variant-tolerant):")
+    print(f"  majority voting:            "
+          f"{precision_with_variants(mv.truths, dataset):.3f}")
+    print(f"  DATE (base, Sec. III):      "
+          f"{precision_with_variants(plain.truths, dataset):.3f}")
+    print(f"  DATE (general, Sec. IV):    "
+          f"{precision_with_variants(general.truths, dataset):.3f}")
+
+    # Show one contested storefront in detail.
+    sample = dataset.tasks[0].task_id
+    votes = dataset.claims_by_task[sample]
+    print(f"\nexample storefront {sample!r} "
+          f"(truth: {dataset.tasks[0].truth!r}):")
+    for worker_id, value in sorted(votes.items()):
+        print(f"  {worker_id}: {value!r}")
+    print(f"  -> base estimate:    {plain.truths.get(sample)!r}")
+    print(f"  -> general estimate: {general.truths.get(sample)!r}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Run every experiment at paper scale and archive results.
+
+Writes one CSV + JSON per experiment into ``results/`` and a combined
+text report ``results/REPORT.txt``.  Instance counts are reduced from
+the paper's 100 to keep the total wall-clock around twenty minutes;
+EXPERIMENTS.md cites these outputs.
+
+Run:  python scripts/calibrate.py [outdir]
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+from repro.experiments import run_experiment
+from repro.reporting import render_chart, render_result_table, write_csv, write_json
+
+#: (experiment id, runner kwargs) — paper scale, reduced instances.
+RUNS: list[tuple[str, dict]] = [
+    ("table1", {}),
+    ("fig3a", {"scale": "paper", "instances": 2,
+               "epsilon_grid": (0.1, 0.3, 0.5, 0.7, 0.9),
+               "alpha_grid": (0.1, 0.3, 0.5, 0.7, 0.9)}),
+    ("fig3b", {"scale": "paper", "instances": 3}),
+    ("fig4a", {"scale": "paper", "instances": 2}),
+    ("fig4b", {"scale": "paper", "instances": 2}),
+    ("fig5a", {"scale": "paper", "instances": 1}),
+    ("fig5b", {"scale": "paper", "instances": 1}),
+    ("fig6a", {"scale": "paper", "instances": 3}),
+    ("fig6b", {"scale": "paper", "instances": 3}),
+    ("fig7a", {"scale": "paper", "instances": 1}),
+    ("fig7b", {"scale": "paper", "instances": 1}),
+    ("fig8a", {"scale": "paper"}),
+    ("fig8b", {"scale": "paper"}),
+    ("approx", {"instances": 8}),
+    ("ablation", {"scale": "paper", "instances": 3}),
+    ("winners", {"scale": "paper", "instances": 2}),
+]
+
+
+def main() -> int:
+    outdir = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("results")
+    outdir.mkdir(parents=True, exist_ok=True)
+    report_lines: list[str] = []
+    total_start = time.time()
+    for experiment_id, kwargs in RUNS:
+        start = time.time()
+        print(f"[{experiment_id}] running with {kwargs} ...", flush=True)
+        result = run_experiment(experiment_id, **kwargs)
+        elapsed = time.time() - start
+        write_csv(result, outdir / f"{experiment_id}.csv")
+        write_json(result, outdir / f"{experiment_id}.json")
+        block = render_result_table(result)
+        chart = render_chart(result)
+        report_lines += [block, "", chart, "", f"(elapsed: {elapsed:.1f}s)", "", "=" * 72, ""]
+        print(f"[{experiment_id}] done in {elapsed:.1f}s", flush=True)
+    (outdir / "REPORT.txt").write_text("\n".join(report_lines))
+    print(f"total: {time.time() - total_start:.1f}s -> {outdir}/REPORT.txt")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Insert the measured series tables into EXPERIMENTS.md.
+
+Reads every ``results/*.json`` produced by ``scripts/calibrate.py`` and
+replaces the ``<!-- MEASURED-SERIES -->`` marker in EXPERIMENTS.md with
+one markdown table per experiment.
+
+Run:  python scripts/fill_experiments.py [results_dir] [experiments_md]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+MARKER = "<!-- MEASURED-SERIES -->"
+
+ORDER = [
+    "table1",
+    "fig3a", "fig3b",
+    "fig4a", "fig4b",
+    "fig5a", "fig5b",
+    "fig6a", "fig6b",
+    "fig7a", "fig7b",
+    "fig8a", "fig8b",
+    "approx", "ablation", "winners",
+]
+
+
+def render(payload: dict) -> str:
+    lines = [f"### {payload['experiment_id']} — {payload['title']}", ""]
+    names = sorted(payload["series"])
+    lines.append("| " + " | ".join([payload["x_label"], *names]) + " |")
+    lines.append("|" + "---|" * (len(names) + 1))
+    for k, x in enumerate(payload["x_values"]):
+        cells = [f"{x:g}" if isinstance(x, (int, float)) else str(x)]
+        for name in names:
+            cells.append(f"{payload['series'][name][k]:.4g}")
+        lines.append("| " + " | ".join(cells) + " |")
+    meta = payload.get("meta", {})
+    keep = {
+        k: v
+        for k, v in meta.items()
+        if k in ("instances", "worker_id", "true_cost", "truthful_utility",
+                 "mean_ratio", "max_ratio", "per_variant")
+    }
+    if keep:
+        lines.append("")
+        for key, value in keep.items():
+            lines.append(f"- {key}: {value}")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def main() -> int:
+    results_dir = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("results")
+    experiments_md = Path(sys.argv[2]) if len(sys.argv) > 2 else Path("EXPERIMENTS.md")
+    blocks = []
+    for experiment_id in ORDER:
+        path = results_dir / f"{experiment_id}.json"
+        if not path.exists():
+            continue
+        blocks.append(render(json.loads(path.read_text())))
+    text = experiments_md.read_text()
+    if MARKER not in text:
+        print(f"marker {MARKER!r} not found in {experiments_md}", file=sys.stderr)
+        return 1
+    experiments_md.write_text(text.replace(MARKER, "\n".join(blocks)))
+    print(f"inserted {len(blocks)} series tables into {experiments_md}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The canonical metadata lives in ``pyproject.toml``; this file exists so
+``pip install -e . --no-use-pep517`` works on environments without the
+``wheel`` package (PEP 517 editable installs require bdist_wheel).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,234 @@
+"""Command-line interface: ``python -m repro`` (or the ``repro`` script).
+
+Subcommands:
+
+- ``repro list`` — show every reproducible experiment;
+- ``repro run <id> [--scale quick|paper] [--instances N] [--seed S]
+  [--out DIR] [--no-chart]`` — run one experiment (or ``all``), print
+  the table and ASCII chart, optionally export CSV/JSON;
+- ``repro generate <dir> [--tasks N] [--workers N] [--copiers N]
+  [--claims N] [--seed S]`` — write a seeded synthetic campaign as CSV;
+- ``repro truth <dir> [--algorithm DATE|MV|NC|ED] [--r R] [--alpha A]``
+  — run truth discovery on a CSV dataset and print the estimates;
+- ``repro auction <dir> [--cap F]`` — run the full IMC2 mechanism on a
+  CSV dataset and print winners and payments.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .baselines import EnumerateDependence, MajorityVote, NoCopier
+from .core.config import DateConfig
+from .core.date import DATE
+from .datasets.io import load_dataset, save_dataset
+from .datasets.qatar_living import generate_qatar_living_like
+from .experiments.registry import get_experiment, list_experiments
+from .mechanism.imc2 import IMC2
+from .reporting.export import write_csv, write_json
+from .reporting.figures import render_chart
+from .reporting.tables import format_table, render_result_table
+
+__all__ = ["main"]
+
+_TRUTH_ALGORITHMS = {
+    "DATE": lambda cfg: DATE(cfg),
+    "MV": lambda cfg: MajorityVote(),
+    "NC": lambda cfg: NoCopier(cfg),
+    "ED": lambda cfg: EnumerateDependence(cfg),
+}
+
+#: Runners that take no scale/instances knobs.
+_FIXED_RUNNERS = {"table1"}
+#: Runners without an ``instances`` parameter.
+_NO_INSTANCES = {"table1", "fig8a", "fig8b"}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduce tables and figures from 'Incentivizing the Workers "
+            "for Truth Discovery in Crowdsourcing with Copiers' (ICDCS 2019)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list all reproducible experiments")
+
+    run = sub.add_parser("run", help="run one experiment (or 'all')")
+    run.add_argument("experiment", help="experiment id (see 'repro list') or 'all'")
+    run.add_argument(
+        "--scale",
+        choices=("quick", "paper"),
+        default="quick",
+        help="workload size preset (default: quick)",
+    )
+    run.add_argument(
+        "--instances",
+        type=int,
+        default=None,
+        help="override the number of seeded instances to average over",
+    )
+    run.add_argument("--seed", type=int, default=42, help="base seed (default 42)")
+    run.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="directory to export CSV and JSON results into",
+    )
+    run.add_argument(
+        "--no-chart", action="store_true", help="skip the ASCII chart rendering"
+    )
+
+    generate = sub.add_parser(
+        "generate", help="write a seeded synthetic campaign as CSV"
+    )
+    generate.add_argument("directory", type=Path, help="output directory")
+    generate.add_argument("--tasks", type=int, default=300)
+    generate.add_argument("--workers", type=int, default=120)
+    generate.add_argument("--copiers", type=int, default=30)
+    generate.add_argument("--claims", type=int, default=6000)
+    generate.add_argument("--copy-prob", type=float, default=0.8)
+    generate.add_argument("--seed", type=int, default=42)
+
+    truth = sub.add_parser("truth", help="run truth discovery on a CSV dataset")
+    truth.add_argument("directory", type=Path, help="dataset directory")
+    truth.add_argument(
+        "--algorithm",
+        choices=sorted(_TRUTH_ALGORITHMS),
+        default="DATE",
+    )
+    truth.add_argument("--r", type=float, default=0.4, help="assumed copy prob")
+    truth.add_argument("--alpha", type=float, default=0.2, help="dependence prior")
+    truth.add_argument("--epsilon", type=float, default=0.5, help="initial accuracy")
+    truth.add_argument(
+        "--limit", type=int, default=20, help="print at most this many tasks"
+    )
+
+    auction = sub.add_parser("auction", help="run IMC2 on a CSV dataset")
+    auction.add_argument("directory", type=Path, help="dataset directory")
+    auction.add_argument(
+        "--cap",
+        type=float,
+        default=None,
+        help="cap requirements at this fraction of available accuracy",
+    )
+    auction.add_argument("--r", type=float, default=0.4, help="assumed copy prob")
+    return parser
+
+
+def _run_one(experiment_id: str, args: argparse.Namespace) -> None:
+    experiment = get_experiment(experiment_id)
+    kwargs: dict[str, object] = {"base_seed": args.seed}
+    if experiment_id not in _FIXED_RUNNERS:
+        kwargs["scale"] = args.scale
+    if args.instances is not None and experiment_id not in _NO_INSTANCES:
+        kwargs["instances"] = args.instances
+    if experiment_id in _FIXED_RUNNERS:
+        kwargs = {"base_seed": args.seed}
+    result = experiment.runner(**kwargs)
+    print(render_result_table(result))
+    if not args.no_chart:
+        print()
+        print(render_chart(result))
+    if args.out is not None:
+        csv_path = write_csv(result, args.out / f"{experiment_id}.csv")
+        json_path = write_json(result, args.out / f"{experiment_id}.json")
+        print(f"\nwrote {csv_path} and {json_path}")
+    print()
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    dataset = generate_qatar_living_like(
+        seed=args.seed,
+        n_tasks=args.tasks,
+        n_workers=args.workers,
+        n_copiers=args.copiers,
+        target_claims=args.claims,
+        copy_prob=args.copy_prob,
+    )
+    path = save_dataset(dataset, args.directory)
+    copiers = sum(1 for w in dataset.workers if w.is_copier)
+    print(
+        f"wrote {dataset.n_tasks} tasks, {dataset.n_workers} workers "
+        f"({copiers} copiers), {dataset.n_claims} claims to {path}"
+    )
+    return 0
+
+
+def _cmd_truth(args: argparse.Namespace) -> int:
+    dataset = load_dataset(args.directory)
+    config = DateConfig(
+        copy_prob_r=args.r, prior_alpha=args.alpha, initial_accuracy=args.epsilon
+    )
+    algorithm = _TRUTH_ALGORITHMS[args.algorithm](config)
+    result = algorithm.run(dataset)
+    rows = []
+    for task_id, value in list(result.truths.items())[: args.limit]:
+        confidence = result.confidence.get(task_id, float("nan"))
+        reference = dataset.task_by_id[task_id].truth
+        verdict = "" if reference is None else ("ok" if value == reference else "WRONG")
+        rows.append([task_id, value, confidence, verdict])
+    print(format_table(["task", "estimate", "confidence", "vs truth"], rows))
+    print(f"\nalgorithm: {result.method}, iterations: {result.iterations}")
+    if dataset.truths:
+        print(f"precision: {result.precision():.4f} over {len(dataset.truths)} tasks")
+    if len(result.truths) > args.limit:
+        print(f"(showing {args.limit} of {len(result.truths)} tasks)")
+    return 0
+
+
+def _cmd_auction(args: argparse.Namespace) -> int:
+    dataset = load_dataset(args.directory)
+    mechanism = IMC2(DateConfig(copy_prob_r=args.r), requirement_cap=args.cap)
+    outcome = mechanism.run(dataset)
+    auction = outcome.auction
+    rows = [
+        [
+            worker_id,
+            auction.payments[worker_id],
+            outcome.worker_utilities[worker_id],
+            outcome.truth.worker_accuracy.get(worker_id, 0.0),
+        ]
+        for worker_id in auction.winner_ids
+    ]
+    print(format_table(["winner", "payment", "utility", "accuracy"], rows))
+    print(f"\nwinners: {auction.n_winners} / {outcome.instance.n_workers} bidders")
+    print(f"social cost: {auction.social_cost:.4f}")
+    print(f"total payment: {auction.total_payment:.4f}")
+    print(f"platform utility: {outcome.platform_utility:.4f}")
+    print(f"social welfare: {outcome.social_welfare:.4f}")
+    if auction.monopolists:
+        print(f"monopolist winners (paid bid): {', '.join(auction.monopolists)}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        rows = [
+            (e.experiment_id, e.paper_reference, e.summary)
+            for e in list_experiments()
+        ]
+        print(format_table(["id", "paper", "summary"], rows))
+        return 0
+    if args.command == "generate":
+        return _cmd_generate(args)
+    if args.command == "truth":
+        return _cmd_truth(args)
+    if args.command == "auction":
+        return _cmd_auction(args)
+    if args.experiment == "all":
+        for experiment in list_experiments():
+            _run_one(experiment.experiment_id, args)
+        return 0
+    _run_one(args.experiment, args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,26 @@
+"""Post-hoc analysis tools (extensions beyond the paper's evaluation).
+
+- :mod:`repro.analysis.dependence_graph` — turn DATE's pairwise
+  dependence posteriors into a directed copy graph (networkx), extract
+  likely copier clusters, and score detection against ground truth;
+- :mod:`repro.analysis.ablation` — one-factor-at-a-time ablation of
+  the DATE design choices documented in DESIGN.md §4 (ordering,
+  discount mode, posterior discounting, accuracy granularity).
+"""
+
+from .ablation import AblationRow, run_date_ablation
+from .dependence_graph import (
+    copier_clusters,
+    dependence_graph,
+    detection_scores,
+    likely_sources,
+)
+
+__all__ = [
+    "AblationRow",
+    "copier_clusters",
+    "dependence_graph",
+    "detection_scores",
+    "likely_sources",
+    "run_date_ablation",
+]

@@ -1,0 +1,172 @@
+"""Alg. 2 — the reverse auction: winner selection + critical payments.
+
+Winner selection phase: repeatedly pick the worker minimizing the
+*effective accuracy unit cost*
+
+    b_k / Σ_j min(Θ'_j, A_k^j)
+
+over the residual requirement vector ``Θ'``, subtract the worker's
+capped coverage from ``Θ'``, and stop when every requirement reaches 0.
+
+Payment determination phase: for each winner ``i``, rerun the greedy
+selection over ``W \\ {i}``; at every step that selects a replacement
+``i_k`` under residual ``Θ''``, worker ``i`` could have taken that slot
+at any price up to
+
+    b_{i_k} · Σ_j min(Θ''_j, A_i^j) / Σ_j min(Θ''_j, A_{i_k}^j)
+
+and the payment is the maximum such price (the Myerson critical value;
+Lemmas 2-3 prove individual rationality and truthfulness from exactly
+this structure).
+
+Degenerate case: if ``W \\ {i}`` cannot cover the requirements, worker
+``i`` is a *monopolist* and its critical value is unbounded; the
+auction then pays ``monopoly_payment_factor · b_i`` and records the
+worker in :attr:`AuctionOutcome.monopolists` (see DESIGN.md §4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError, InfeasibleCoverageError
+from .soac import COVERAGE_TOL, SOACInstance
+
+__all__ = ["AuctionOutcome", "ReverseAuction", "greedy_cover"]
+
+
+@dataclass(frozen=True, eq=False)
+class AuctionOutcome:
+    """Result of one auction run.
+
+    ``winner_ids`` preserves selection order.  ``payments`` maps every
+    *winner* to its payment (losers are paid 0 and omitted).
+    ``social_cost`` is ``Σ c_i`` over winners — the SOAC objective the
+    paper plots in Fig. 6.
+    """
+
+    method: str
+    winner_ids: tuple[str, ...]
+    winner_indexes: tuple[int, ...]
+    payments: dict[str, float]
+    social_cost: float
+    total_payment: float
+    monopolists: tuple[str, ...] = ()
+
+    @property
+    def n_winners(self) -> int:
+        return len(self.winner_ids)
+
+    def payment_of(self, worker_id: str) -> float:
+        """Payment to a worker (0 for losers)."""
+        return self.payments.get(worker_id, 0.0)
+
+    def utility_of(self, worker_id: str, cost: float) -> float:
+        """``u_i = p_i - c_i`` for winners, 0 for losers (Eq. 1)."""
+        if worker_id not in self.payments:
+            return 0.0
+        return self.payments[worker_id] - cost
+
+
+def _marginal_coverage(
+    accuracy_row: np.ndarray, residual: np.ndarray
+) -> float:
+    """``Σ_j min(Θ'_j, A_k^j)`` — the capped coverage a worker adds."""
+    return float(np.minimum(residual, accuracy_row).sum())
+
+
+def greedy_cover(
+    instance: SOACInstance,
+    *,
+    exclude: int | None = None,
+) -> list[tuple[int, np.ndarray]]:
+    """Run Alg. 2's selection loop; yield ``(worker, residual-before)`` pairs.
+
+    ``exclude`` removes one worker from consideration (the payment
+    phase's ``W \\ {i}``).  Raises :class:`InfeasibleCoverageError` when
+    the remaining workers cannot cover the requirements.
+    """
+    residual = instance.requirements.astype(np.float64).copy()
+    available = [i for i in range(instance.n_workers) if i != exclude]
+    chosen: list[tuple[int, np.ndarray]] = []
+    selected: set[int] = set()
+    while residual.sum() > COVERAGE_TOL:
+        best_worker = -1
+        best_ratio = np.inf
+        for k in available:
+            if k in selected:
+                continue
+            marginal = _marginal_coverage(instance.accuracy[k], residual)
+            if marginal <= COVERAGE_TOL:
+                continue
+            ratio = instance.bids[k] / marginal
+            if ratio < best_ratio or (ratio == best_ratio and k < best_worker):
+                best_ratio = ratio
+                best_worker = k
+        if best_worker < 0:
+            uncovered = instance.uncovered_tasks(selected)
+            raise InfeasibleCoverageError(uncovered)
+        chosen.append((best_worker, residual.copy()))
+        selected.add(best_worker)
+        residual = np.maximum(
+            residual - np.minimum(residual, instance.accuracy[best_worker]), 0.0
+        )
+    return chosen
+
+
+class ReverseAuction:
+    """IMC2's auction stage (Alg. 2)."""
+
+    method_name = "RA"
+
+    def __init__(self, *, monopoly_payment_factor: float = 1.0):
+        if monopoly_payment_factor < 1.0:
+            raise ConfigurationError(
+                "monopoly_payment_factor must be >= 1 (a winner must never "
+                "be paid below its bid)"
+            )
+        self.monopoly_payment_factor = monopoly_payment_factor
+
+    def run(self, instance: SOACInstance) -> AuctionOutcome:
+        """Select winners and compute critical payments."""
+        instance.check_feasible()
+
+        # --- Winner selection phase (Alg. 2 lines 1-8) ---
+        selection = greedy_cover(instance)
+        winners = [worker for worker, _ in selection]
+
+        # --- Payment determination phase (Alg. 2 lines 9-20) ---
+        payments: dict[str, float] = {}
+        monopolists: list[str] = []
+        for i in winners:
+            worker_id = instance.worker_ids[i]
+            try:
+                replacement_run = greedy_cover(instance, exclude=i)
+            except InfeasibleCoverageError:
+                # Monopolist: no replacement set exists without i.
+                payments[worker_id] = (
+                    self.monopoly_payment_factor * float(instance.bids[i])
+                )
+                monopolists.append(worker_id)
+                continue
+            payment = 0.0
+            for k, residual in replacement_run:
+                own = _marginal_coverage(instance.accuracy[i], residual)
+                other = _marginal_coverage(instance.accuracy[k], residual)
+                if other <= COVERAGE_TOL:
+                    continue
+                payment = max(payment, float(instance.bids[k]) * own / other)
+            payments[worker_id] = payment
+
+        total_payment = float(sum(payments.values()))
+        return AuctionOutcome(
+            method=self.method_name,
+            winner_ids=tuple(instance.worker_ids[i] for i in winners),
+            winner_indexes=tuple(winners),
+            payments=payments,
+            social_cost=instance.social_cost(winners),
+            total_payment=total_payment,
+            monopolists=tuple(monopolists),
+        )

@@ -1,0 +1,32 @@
+"""Baseline algorithms the paper compares against (Sec. VII-A).
+
+Truth-discovery baselines (Fig. 3-5):
+
+- :class:`MajorityVote` (MV) — the value claimed by the most workers;
+- :class:`NoCopier` (NC) — accuracy-aware Bayesian voting that assumes
+  all workers are independent (step 3 of DATE only);
+- :class:`EnumerateDependence` (ED) — DATE with step 2 replaced by
+  explicit enumeration of copy configurations among co-providers
+  (exponential; slightly more precise, much slower).
+
+Auction baselines (Fig. 6-7):
+
+- :class:`GreedyAccuracy` (GA) — repeatedly select the worker with the
+  highest marginal accuracy coverage;
+- :class:`GreedyBid` (GB) — repeatedly select the cheapest useful
+  worker, with a Vickrey-style payment.
+"""
+
+from .enumerate_dependence import EnumerateDependence
+from .greedy_accuracy import GreedyAccuracy
+from .greedy_bid import GreedyBid
+from .majority_vote import MajorityVote
+from .no_copier import NoCopier
+
+__all__ = [
+    "EnumerateDependence",
+    "GreedyAccuracy",
+    "GreedyBid",
+    "MajorityVote",
+    "NoCopier",
+]

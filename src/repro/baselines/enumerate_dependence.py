@@ -1,0 +1,101 @@
+"""ED — the Enumerate-Dependence baseline (Sec. VII-A).
+
+ED follows DATE except in step 2: instead of the greedy ordering that
+discounts each worker only against its predecessors, ED *enumerates all
+possible dependence configurations* between a worker and every other
+co-provider of the same value.  Each co-provider pair may or may not
+have an active copy edge; a worker's claim is independent exactly when
+none of its outgoing edges is active.  Summing the probability mass of
+every configuration is exponential in the group size — the cost the
+paper measures in Fig. 5 (DATE runs in ≈42.6% of ED's time at n=120,
+m=300).
+
+Under the paper's independent-copying assumption the enumeration has a
+closed form, ``Π (1 - r·P(i→i'|D))`` over all co-providers, which ED
+uses above :attr:`EnumerateDependence.exact_enumeration_limit` workers
+to stay finite on adversarial inputs.  Note the product ranges over
+*all* co-providers, not just greedy-order predecessors, so ED discounts
+copiers more aggressively than DATE — the source of its small precision
+edge (+0.8% average in Fig. 4).
+"""
+
+from __future__ import annotations
+
+from itertools import product
+
+from ..core.config import DateConfig
+from ..core.date import DATE
+from ..core.dependence import DependencePosterior, directed_probability
+from ..core.independence import IndependenceTable
+from ..core.indexing import DatasetIndex
+from ..errors import ConfigurationError
+
+__all__ = ["EnumerateDependence"]
+
+
+def _enumerated_independence(edge_probs: list[float]) -> float:
+    """Mass of the no-active-edge configuration by explicit enumeration.
+
+    Iterates all ``2^k`` on/off assignments of the worker's possible
+    copy edges and accumulates the mass of configurations in which the
+    worker copied nobody.  Mathematically equal to ``Π (1 - p)`` — the
+    point of ED is paying the enumeration cost, not changing the value.
+    """
+    independent_mass = 0.0
+    for bits in product((False, True), repeat=len(edge_probs)):
+        if any(bits):
+            continue
+        mass = 1.0
+        for active, p in zip(bits, edge_probs):
+            mass *= p if active else 1.0 - p
+        independent_mass += mass
+    return independent_mass
+
+
+def _closed_form_independence(edge_probs: list[float]) -> float:
+    result = 1.0
+    for p in edge_probs:
+        result *= 1.0 - p
+    return result
+
+
+class EnumerateDependence(DATE):
+    """DATE with exhaustive dependence enumeration in step 2."""
+
+    method_name = "ED"
+
+    def __init__(
+        self,
+        config: DateConfig | None = None,
+        *,
+        exact_enumeration_limit: int = 16,
+    ):
+        super().__init__(config)
+        if exact_enumeration_limit < 0:
+            raise ConfigurationError("exact_enumeration_limit must be >= 0")
+        self.exact_enumeration_limit = exact_enumeration_limit
+
+    def _independence(
+        self,
+        index: DatasetIndex,
+        dependence: dict[tuple[int, int], DependencePosterior],
+    ) -> IndependenceTable:
+        r = self.config.copy_prob_r
+        table: IndependenceTable = []
+        for j in range(index.n_tasks):
+            per_value: dict[str, dict[int, float]] = {}
+            for value, group in index.value_groups[j].items():
+                scores: dict[int, float] = {}
+                for worker in group:
+                    edge_probs = [
+                        r * directed_probability(dependence, worker, other)
+                        for other in group
+                        if other != worker
+                    ]
+                    if len(edge_probs) <= self.exact_enumeration_limit:
+                        scores[worker] = _enumerated_independence(edge_probs)
+                    else:
+                        scores[worker] = _closed_form_independence(edge_probs)
+                per_value[value] = scores
+            table.append(per_value)
+        return table

@@ -1,0 +1,77 @@
+"""GA — the Greedy Accuracy auction baseline (Sec. VII-A).
+
+GA repeatedly selects the worker with the highest *marginal accuracy
+coverage* ``Σ_j min(Θ'_j, A_k^j)`` over the residual requirements,
+ignoring prices entirely, until every task's requirement is covered.
+
+Payment: the paper says GA "pays the critical value to the winners",
+but GA's selection never reads bids, so no finite Myerson critical
+value exists; we pay the declared bid (first-price).  This choice is
+invisible to every reproduced figure — Fig. 6 compares *social cost*,
+which depends only on the selected set (see DESIGN.md §4).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..auction.reverse_auction import AuctionOutcome
+from ..auction.soac import COVERAGE_TOL, SOACInstance
+from ..errors import InfeasibleCoverageError
+
+__all__ = ["GreedyAccuracy"]
+
+
+class GreedyAccuracy:
+    """Accuracy-first greedy winner selection."""
+
+    method_name = "GA"
+
+    def run(self, instance: SOACInstance) -> AuctionOutcome:
+        """Select by maximal marginal coverage; pay declared bids."""
+        instance.check_feasible()
+        residual = instance.requirements.astype(np.float64).copy()
+        selected: list[int] = []
+        chosen: set[int] = set()
+        while residual.sum() > COVERAGE_TOL:
+            best_worker = -1
+            best_coverage = 0.0
+            for k in range(instance.n_workers):
+                if k in chosen:
+                    continue
+                marginal = float(np.minimum(residual, instance.accuracy[k]).sum())
+                if marginal <= COVERAGE_TOL:
+                    continue
+                better = marginal > best_coverage
+                tie = (
+                    marginal == best_coverage
+                    and best_worker >= 0
+                    and (
+                        instance.bids[k] < instance.bids[best_worker]
+                        or (
+                            instance.bids[k] == instance.bids[best_worker]
+                            and k < best_worker
+                        )
+                    )
+                )
+                if better or tie:
+                    best_coverage = marginal
+                    best_worker = k
+            if best_worker < 0:
+                raise InfeasibleCoverageError(instance.uncovered_tasks(chosen))
+            selected.append(best_worker)
+            chosen.add(best_worker)
+            residual = np.maximum(
+                residual - np.minimum(residual, instance.accuracy[best_worker]), 0.0
+            )
+        payments = {
+            instance.worker_ids[i]: float(instance.bids[i]) for i in selected
+        }
+        return AuctionOutcome(
+            method=self.method_name,
+            winner_ids=tuple(instance.worker_ids[i] for i in selected),
+            winner_indexes=tuple(selected),
+            payments=payments,
+            social_cost=instance.social_cost(selected),
+            total_payment=float(sum(payments.values())),
+        )

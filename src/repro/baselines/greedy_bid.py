@@ -1,0 +1,79 @@
+"""GB — the Greedy Bid auction baseline (Sec. VII-A).
+
+GB repeatedly selects the *cheapest* worker that still contributes
+positive marginal coverage, ignoring how much accuracy the worker
+actually adds, until every requirement is covered.
+
+Payment follows the Vickrey second-price idea [20]: each winner is paid
+the bid of the cheapest useful *loser* at the moment the selection
+finished (the price it would have taken to displace the marginal
+excluded worker), or its own bid if every useful worker won.  As with
+GA, the payment rule does not affect the reproduced social-cost figures.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..auction.reverse_auction import AuctionOutcome
+from ..auction.soac import COVERAGE_TOL, SOACInstance
+from ..errors import InfeasibleCoverageError
+
+__all__ = ["GreedyBid"]
+
+
+class GreedyBid:
+    """Cheapest-first greedy winner selection with Vickrey-style payment."""
+
+    method_name = "GB"
+
+    def run(self, instance: SOACInstance) -> AuctionOutcome:
+        """Select by minimal bid among still-useful workers."""
+        instance.check_feasible()
+        residual = instance.requirements.astype(np.float64).copy()
+        selected: list[int] = []
+        chosen: set[int] = set()
+        while residual.sum() > COVERAGE_TOL:
+            best_worker = -1
+            best_bid = np.inf
+            for k in range(instance.n_workers):
+                if k in chosen:
+                    continue
+                marginal = float(np.minimum(residual, instance.accuracy[k]).sum())
+                if marginal <= COVERAGE_TOL:
+                    continue
+                if instance.bids[k] < best_bid or (
+                    instance.bids[k] == best_bid and k < best_worker
+                ):
+                    best_bid = float(instance.bids[k])
+                    best_worker = k
+            if best_worker < 0:
+                raise InfeasibleCoverageError(instance.uncovered_tasks(chosen))
+            selected.append(best_worker)
+            chosen.add(best_worker)
+            residual = np.maximum(
+                residual - np.minimum(residual, instance.accuracy[best_worker]), 0.0
+            )
+
+        # Vickrey-style uniform reference price: the cheapest loser that
+        # could still have been useful for some task.
+        losers = [
+            k
+            for k in range(instance.n_workers)
+            if k not in chosen and float(instance.accuracy[k].sum()) > COVERAGE_TOL
+        ]
+        reference = min((float(instance.bids[k]) for k in losers), default=None)
+        payments = {}
+        for i in selected:
+            own_bid = float(instance.bids[i])
+            payments[instance.worker_ids[i]] = (
+                max(own_bid, reference) if reference is not None else own_bid
+            )
+        return AuctionOutcome(
+            method=self.method_name,
+            winner_ids=tuple(instance.worker_ids[i] for i in selected),
+            winner_indexes=tuple(selected),
+            payments=payments,
+            social_cost=instance.social_cost(selected),
+            total_payment=float(sum(payments.values())),
+        )

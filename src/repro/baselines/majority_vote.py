@@ -1,0 +1,71 @@
+"""MV — the Majority Voting baseline (Sec. VII-A).
+
+The truth of each task is the value supported by the most workers,
+with lexicographic tie-breaking for determinism.  MV treats every
+worker as equally reliable, which is exactly the weakness the paper's
+Table 1 example exploits: two copiers plus their source outvote a
+single correct worker.
+
+MV still reports an accuracy matrix (each worker's agreement rate with
+the majority answer) so it can feed the auction stage in ablations,
+and a confidence per task (the winning vote share).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.date import TruthDiscoveryResult, build_result
+from ..core.indexing import DatasetIndex
+from ..types import Dataset
+
+__all__ = ["MajorityVote"]
+
+
+class MajorityVote:
+    """Majority voting with agreement-rate accuracies."""
+
+    method_name = "MV"
+
+    def run(
+        self, dataset: Dataset, *, index: DatasetIndex | None = None
+    ) -> TruthDiscoveryResult:
+        """Vote once and derive agreement-based worker accuracies."""
+        index = index or DatasetIndex(dataset)
+        truths = index.majority_vote()
+
+        # Vote shares double as per-value "posteriors" and support.
+        posteriors: list[dict[str, float]] = []
+        support: list[dict[str, float]] = []
+        for j in range(index.n_tasks):
+            groups = index.value_groups[j]
+            counts = {v: float(len(ws)) for v, ws in groups.items()}
+            total = sum(counts.values())
+            posteriors.append(
+                {v: c / total for v, c in counts.items()} if total else {}
+            )
+            support.append(counts)
+
+        # Accuracy: each worker's agreement rate with the majority
+        # answers, broadcast over its answered tasks.
+        accuracy = np.zeros((index.n_workers, index.n_tasks), dtype=np.float64)
+        for i, claims in enumerate(index.claims_by_worker):
+            if not claims:
+                continue
+            agreement = np.mean(
+                [1.0 if truths[j] == value else 0.0 for j, value in claims.items()]
+            )
+            for j in claims:
+                accuracy[i, j] = agreement
+
+        return build_result(
+            index,
+            truths,
+            accuracy,
+            posteriors,
+            support,
+            dependence={},
+            iterations=1,
+            converged=True,
+            method=self.method_name,
+        )

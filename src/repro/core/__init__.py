@@ -1,0 +1,43 @@
+"""The paper's primary contribution: DATE truth discovery (Alg. 1).
+
+Submodules map one-to-one onto the steps of the algorithm:
+
+- :mod:`repro.core.indexing` — integer-indexed dataset views shared by
+  every step;
+- :mod:`repro.core.dependence` — step 1, pairwise copier detection
+  (Eqs. 7-15);
+- :mod:`repro.core.independence` — step 2, per-value independence
+  probabilities via the greedy ordering (Eq. 16);
+- :mod:`repro.core.accuracy` — step 3, value posteriors and worker
+  accuracies (Eqs. 17-20);
+- :mod:`repro.core.support` — dependence-discounted support counts and
+  the similarity adjustment of Sec. IV-A (Eq. 21, Alg. 1 line 28);
+- :mod:`repro.core.falsedist` — false-value distribution models,
+  including the non-uniform generalization of Sec. IV-B (Eqs. 22-23);
+- :mod:`repro.core.date` — the iterative driver (Alg. 1).
+"""
+
+from .config import DateConfig
+from .date import DATE, TruthDiscoveryResult, discover_truth
+from .dependence import DependencePosterior, compute_pairwise_dependence
+from .falsedist import (
+    EmpiricalFalseValues,
+    FalseValueDistribution,
+    UniformFalseValues,
+    ZipfFalseValues,
+)
+from .indexing import DatasetIndex
+
+__all__ = [
+    "DATE",
+    "DateConfig",
+    "DatasetIndex",
+    "DependencePosterior",
+    "EmpiricalFalseValues",
+    "FalseValueDistribution",
+    "TruthDiscoveryResult",
+    "UniformFalseValues",
+    "ZipfFalseValues",
+    "compute_pairwise_dependence",
+    "discover_truth",
+]

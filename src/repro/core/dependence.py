@@ -1,0 +1,203 @@
+"""Step 1 of DATE: Bayesian pairwise dependence detection (Eqs. 7-15).
+
+For every worker pair ``(a, b)`` that co-answered at least one task, we
+compare three hypotheses about how their data came to be:
+
+- ``a ⊥ b`` — both answered independently;
+- ``a → b`` — ``a`` copies from ``b`` (each of ``a``'s values is copied
+  with probability ``r``);
+- ``b → a`` — the reverse direction.
+
+The evidence is the partition of their shared tasks into ``T_s`` (same
+value, equal to the current truth estimate), ``T_f`` (same value, not
+the truth) and ``T_d`` (different values).  Sharing *false* values is
+the smoking gun: it is rare under independence (Eq. 8) but likely under
+copying (Eq. 12).  The three likelihoods (Eqs. 10, 14) combine with the
+priors into directional posteriors via Bayes' rule (Eq. 15).
+
+Priors: the paper writes ``P(i→i') = α`` and ``P(i⊥i') = 1 - α`` but
+sweeps α to 0.9, which cannot be a three-hypothesis prior as written.
+We use ``P(a→b) = P(b→a) = α/2`` and ``P(a⊥b) = 1 - α`` (valid for all
+α in (0, 1)); see DESIGN.md §4.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from .falsedist import FalseValueDistribution, UniformFalseValues
+from .indexing import DatasetIndex
+
+__all__ = ["DependencePosterior", "compute_pairwise_dependence"]
+
+# Likelihood terms are clamped away from 0 so a single impossible-looking
+# observation cannot produce -inf log likelihoods.
+_MIN_PROB = 1e-12
+
+
+@dataclass(frozen=True, slots=True)
+class DependencePosterior:
+    """Posterior over the three dependence hypotheses for a worker pair.
+
+    ``p_a_to_b`` is ``P(a→b | D)`` — the probability that the pair's
+    *first* worker copies from the second; ``p_b_to_a`` the reverse.
+    The probabilities sum to 1 with ``p_independent``.
+    """
+
+    p_a_to_b: float
+    p_b_to_a: float
+
+    @property
+    def p_independent(self) -> float:
+        """``P(a ⊥ b | D)``."""
+        return max(0.0, 1.0 - self.p_a_to_b - self.p_b_to_a)
+
+    @property
+    def p_dependent(self) -> float:
+        """Total dependence probability, either direction."""
+        return self.p_a_to_b + self.p_b_to_a
+
+    def directed(self, copier_first: bool) -> float:
+        """``P(x→y | D)`` with ``x`` the copier: pair order if ``copier_first``."""
+        return self.p_a_to_b if copier_first else self.p_b_to_a
+
+
+def _log(x: float) -> float:
+    return math.log(max(x, _MIN_PROB))
+
+
+def compute_pairwise_dependence(
+    index: DatasetIndex,
+    truths: Sequence[str | None],
+    accuracy: np.ndarray,
+    *,
+    copy_prob_r: float,
+    prior_alpha: float,
+    false_values: FalseValueDistribution | None = None,
+    accuracy_clamp: tuple[float, float] = (0.01, 0.99),
+) -> dict[tuple[int, int], DependencePosterior]:
+    """Compute dependence posteriors for all co-answering pairs.
+
+    Parameters
+    ----------
+    index:
+        Prebuilt dataset index.
+    truths:
+        Current per-task truth estimates (task-index order); used to
+        split shared tasks into ``T_s`` and ``T_f``.
+    accuracy:
+        Dense ``n_workers x n_tasks`` accuracy matrix (current ``A``).
+    copy_prob_r:
+        The assumed probability ``r`` that a copied worker's value is
+        copied rather than independently produced.
+    prior_alpha:
+        Total prior probability ``α`` of dependence for a pair.
+    false_values:
+        False-value distribution model; defaults to the paper's uniform
+        assumption.
+    accuracy_clamp:
+        Accuracies are clamped into this open interval before use so
+        the likelihoods stay finite.
+
+    Returns
+    -------
+    dict
+        ``(a, b) -> DependencePosterior`` with ``a < b``, covering
+        exactly ``index.pairs``.
+    """
+    if not 0.0 < copy_prob_r < 1.0:
+        raise ValueError(f"copy_prob_r must be in (0, 1), got {copy_prob_r}")
+    if not 0.0 < prior_alpha < 1.0:
+        raise ValueError(f"prior_alpha must be in (0, 1), got {prior_alpha}")
+    false_values = false_values or UniformFalseValues()
+    lo, hi = accuracy_clamp
+
+    r = copy_prob_r
+    log_prior_dep = math.log(prior_alpha / 2.0)
+    log_prior_ind = math.log(1.0 - prior_alpha)
+
+    # Collision probabilities are truth-independent per task; cache them.
+    collision = [
+        false_values.collision_probability(j, index) for j in range(index.n_tasks)
+    ]
+
+    posteriors: dict[tuple[int, int], DependencePosterior] = {}
+    claims = index.claims_by_worker
+    for (a, b), shared in index.shared_tasks.items():
+        log_ind = 0.0  # log P(D | a ⊥ b)
+        log_ab = 0.0  # log P(D | a → b)
+        log_ba = 0.0  # log P(D | b → a)
+        claims_a = claims[a]
+        claims_b = claims[b]
+        for j in shared:
+            value_a = claims_a[j]
+            value_b = claims_b[j]
+            acc_a = min(max(accuracy[a, j], lo), hi)
+            acc_b = min(max(accuracy[b, j], lo), hi)
+            if value_a == value_b:
+                if value_a == truths[j]:
+                    # T_s: same true value (Eqs. 7, 11).
+                    p_same = acc_a * acc_b
+                    src_a = acc_a  # quality of the copied value under b→a
+                    src_b = acc_b  # ... and under a→b
+                else:
+                    # T_f: same false value (Eqs. 8, 12, 22).
+                    p_same = (1.0 - acc_a) * (1.0 - acc_b) * collision[j]
+                    src_a = 1.0 - acc_a
+                    src_b = 1.0 - acc_b
+                log_ind += _log(p_same)
+                log_ab += _log(src_b * r + p_same * (1.0 - r))
+                log_ba += _log(src_a * r + p_same * (1.0 - r))
+            else:
+                # T_d: different values (Eqs. 9, 13): P_d = 1 - P_s - P_f.
+                p_same_true = acc_a * acc_b
+                p_same_false = (1.0 - acc_a) * (1.0 - acc_b) * collision[j]
+                p_diff = max(1.0 - p_same_true - p_same_false, _MIN_PROB)
+                log_ind += _log(p_diff)
+                log_diff_dep = _log(p_diff * (1.0 - r))
+                log_ab += log_diff_dep
+                log_ba += log_diff_dep
+        # Bayes over the three hypotheses, normalized in log space.
+        score_ind = log_prior_ind + log_ind
+        score_ab = log_prior_dep + log_ab
+        score_ba = log_prior_dep + log_ba
+        peak = max(score_ind, score_ab, score_ba)
+        w_ind = math.exp(score_ind - peak)
+        w_ab = math.exp(score_ab - peak)
+        w_ba = math.exp(score_ba - peak)
+        total = w_ind + w_ab + w_ba
+        posteriors[(a, b)] = DependencePosterior(
+            p_a_to_b=w_ab / total,
+            p_b_to_a=w_ba / total,
+        )
+    return posteriors
+
+
+def directed_probability(
+    posteriors: dict[tuple[int, int], DependencePosterior],
+    copier: int,
+    source: int,
+) -> float:
+    """``P(copier → source | D)`` from a posterior table, 0 if the pair never met."""
+    if copier == source:
+        return 0.0
+    if copier < source:
+        entry = posteriors.get((copier, source))
+        return entry.p_a_to_b if entry is not None else 0.0
+    entry = posteriors.get((source, copier))
+    return entry.p_b_to_a if entry is not None else 0.0
+
+
+def total_dependence(
+    posteriors: dict[tuple[int, int], DependencePosterior],
+    a: int,
+    b: int,
+) -> float:
+    """``P(a→b | D) + P(b→a | D)``, 0 if the pair never met."""
+    key = (a, b) if a < b else (b, a)
+    entry = posteriors.get(key)
+    return entry.p_dependent if entry is not None else 0.0

@@ -1,0 +1,148 @@
+"""Integer-indexed views of a :class:`~repro.types.Dataset`.
+
+DATE's inner loops touch the same derived structures every iteration:
+claims by task, value groups ``W_v^j``, the co-answering worker pairs,
+and each pair's shared tasks.  :class:`DatasetIndex` computes them once,
+mapping string ids to dense integer indexes so the hot paths work on
+ints and numpy arrays.
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+
+import numpy as np
+
+from ..types import Dataset
+
+__all__ = ["DatasetIndex"]
+
+
+class DatasetIndex:
+    """Precomputed integer-indexed structures for one dataset.
+
+    The index is read-only; all algorithms in :mod:`repro.core` and
+    :mod:`repro.baselines` accept either a dataset (and build an index
+    internally) or a prebuilt index (to share the cost across
+    algorithms, as the benchmark harness does).
+    """
+
+    def __init__(self, dataset: Dataset):
+        self.dataset = dataset
+        #: Task ids in dataset order; positions are the task indexes used below.
+        self.task_ids: list[str] = [t.task_id for t in dataset.tasks]
+        #: Worker ids in dataset order; positions are the worker indexes.
+        self.worker_ids: list[str] = [w.worker_id for w in dataset.workers]
+        self.task_pos: dict[str, int] = {t: j for j, t in enumerate(self.task_ids)}
+        self.worker_pos: dict[str, int] = {w: i for i, w in enumerate(self.worker_ids)}
+
+        n_tasks = len(self.task_ids)
+        n_workers = len(self.worker_ids)
+        #: ``claims_by_task[j]`` is ``{worker_index: value}``.
+        self.claims_by_task: list[dict[int, str]] = [{} for _ in range(n_tasks)]
+        #: ``claims_by_worker[i]`` is ``{task_index: value}``.
+        self.claims_by_worker: list[dict[int, str]] = [{} for _ in range(n_workers)]
+        for (worker_id, task_id), value in dataset.claims.items():
+            i = self.worker_pos[worker_id]
+            j = self.task_pos[task_id]
+            self.claims_by_task[j][i] = value
+            self.claims_by_worker[i][j] = value
+
+        #: ``value_groups[j]`` is ``{value: sorted tuple of worker indexes}``
+        #: (the paper's ``W_v^j``), with values in sorted order for
+        #: deterministic iteration.
+        self.value_groups: list[dict[str, tuple[int, ...]]] = []
+        for j in range(n_tasks):
+            groups: dict[str, list[int]] = {}
+            for i, value in self.claims_by_task[j].items():
+                groups.setdefault(value, []).append(i)
+            self.value_groups.append(
+                {v: tuple(sorted(ws)) for v, ws in sorted(groups.items())}
+            )
+
+        #: Effective ``num_j`` (count of false values) per task: the
+        #: declared closed-domain size minus one, or the observed number
+        #: of distinct values minus one for open domains; at least 1 so
+        #: the false-value probability ``(1 - A)/num`` stays finite.
+        self.num_false = np.empty(n_tasks, dtype=np.int64)
+        for j, task in enumerate(dataset.tasks):
+            if task.domain:
+                num = task.num_false
+            else:
+                num = len(self.value_groups[j]) - 1
+            self.num_false[j] = max(num, 1)
+
+    @property
+    def n_tasks(self) -> int:
+        return len(self.task_ids)
+
+    @property
+    def n_workers(self) -> int:
+        return len(self.worker_ids)
+
+    @cached_property
+    def worker_task_sets(self) -> list[frozenset[int]]:
+        """Task-index set answered by each worker."""
+        return [frozenset(claims) for claims in self.claims_by_worker]
+
+    @cached_property
+    def pairs(self) -> list[tuple[int, int]]:
+        """All worker pairs ``(a, b)`` with ``a < b`` sharing at least one task.
+
+        Dependence is only defined (and only informative) for pairs that
+        co-answered something, so step 1 iterates exactly this list.
+        """
+        seen: set[tuple[int, int]] = set()
+        for claims in self.claims_by_task:
+            members = sorted(claims)
+            for x in range(len(members)):
+                for y in range(x + 1, len(members)):
+                    seen.add((members[x], members[y]))
+        return sorted(seen)
+
+    @cached_property
+    def shared_tasks(self) -> dict[tuple[int, int], tuple[int, ...]]:
+        """``(a, b) -> task indexes answered by both`` for every pair."""
+        shared: dict[tuple[int, int], list[int]] = {p: [] for p in self.pairs}
+        for j, claims in enumerate(self.claims_by_task):
+            members = sorted(claims)
+            for x in range(len(members)):
+                for y in range(x + 1, len(members)):
+                    shared[(members[x], members[y])].append(j)
+        return {p: tuple(ts) for p, ts in shared.items()}
+
+    def initial_accuracy_matrix(self, epsilon: float) -> np.ndarray:
+        """Dense ``n_workers x n_tasks`` accuracy matrix initialized to ε.
+
+        Entries for (worker, task) pairs without a claim are 0: a worker
+        that did not answer a task contributes no accuracy to it (and no
+        coverage in the auction stage).
+        """
+        matrix = np.zeros((self.n_workers, self.n_tasks), dtype=np.float64)
+        for i, claims in enumerate(self.claims_by_worker):
+            for j in claims:
+                matrix[i, j] = epsilon
+        return matrix
+
+    def majority_vote(self) -> list[str | None]:
+        """Per-task majority value (``None`` for unanswered tasks).
+
+        Ties break lexicographically on the value so results are
+        deterministic.  This is both the MV baseline's core and DATE's
+        initial truth estimate (Sec. III-A: "the true value can be
+        obtained through the voting mechanism ... initially").
+        """
+        winners: list[str | None] = []
+        for j in range(self.n_tasks):
+            groups = self.value_groups[j]
+            if not groups:
+                winners.append(None)
+                continue
+            best = max(groups.items(), key=lambda item: (len(item[1]), item[0]))
+            # max() with (count, value) prefers the lexicographically
+            # *largest* value on count ties; flip to smallest for a
+            # stable, documented rule.
+            best_count = len(best[1])
+            candidates = [v for v, ws in groups.items() if len(ws) == best_count]
+            winners.append(min(candidates))
+        return winners

@@ -1,0 +1,32 @@
+"""Dataset substrate: synthetic worlds, copier injection, presets, IO.
+
+The paper evaluates on two external datasets we cannot access offline
+(Qatar Living Forum answers and an eBay bid-price dump); per DESIGN.md
+§3 this package provides seeded synthetic equivalents with the same
+shape, plus the generic generators they are built from:
+
+- :func:`generate_world` — independent-worker crowdsourcing world;
+- :func:`inject_copiers` — convert chosen workers into copiers;
+- :func:`generate_qatar_living_like` — the paper's default workload
+  (300 tasks, 120 workers, ≈6000 claims, 30 copiers);
+- :class:`PalmM515LikeSampler` — right-skewed bid-price sampler
+  standing in for the eBay Palm Pilot M515 auction data;
+- :func:`save_dataset` / :func:`load_dataset` — CSV round-trip.
+"""
+
+from .auction_prices import PalmM515LikeSampler, sample_costs
+from .copiers import inject_copiers
+from .io import load_dataset, save_dataset
+from .qatar_living import generate_qatar_living_like
+from .synthetic import WorldConfig, generate_world
+
+__all__ = [
+    "PalmM515LikeSampler",
+    "WorldConfig",
+    "generate_qatar_living_like",
+    "generate_world",
+    "inject_copiers",
+    "load_dataset",
+    "sample_costs",
+    "save_dataset",
+]

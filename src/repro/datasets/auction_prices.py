@@ -1,0 +1,93 @@
+"""Synthetic stand-in for the eBay Palm Pilot M515 bid-price dataset.
+
+The paper draws worker costs from 5017 eBay bid prices for a Palm
+Pilot M515 PDA [41].  That dump is not available offline, so
+:class:`PalmM515LikeSampler` reproduces its qualitative properties:
+
+- right-skewed, unimodal prices (lognormal body);
+- a hard floor (opening bids) and a soft ceiling (buy-it-now region),
+  implemented as truncation to ``[floor, ceiling]`` dollars;
+- heaping on "round" amounts — online bidders disproportionately bid
+  multiples of $5, which we mimic by snapping a fraction of samples.
+
+Costs are then affinely rescaled into the range the paper's own numbers
+imply (the Fig. 8 workers have true costs 3 and 8, so costs live in
+single digits); see DESIGN.md §3.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..rng import SeedLike, ensure_generator
+
+__all__ = ["PalmM515LikeSampler", "sample_costs"]
+
+
+class PalmM515LikeSampler:
+    """Seeded sampler of PDA-auction-like bid prices (in dollars).
+
+    Parameters mirror the empirical shape: ``median`` and ``sigma``
+    parameterize the lognormal body, ``floor``/``ceiling`` truncate,
+    ``round_fraction`` of samples are snapped to ``round_to``-dollar
+    increments.
+    """
+
+    def __init__(
+        self,
+        *,
+        median: float = 120.0,
+        sigma: float = 0.45,
+        floor: float = 20.0,
+        ceiling: float = 400.0,
+        round_fraction: float = 0.5,
+        round_to: float = 5.0,
+    ):
+        if median <= 0 or sigma <= 0:
+            raise ConfigurationError("median and sigma must be positive")
+        if not 0 < floor < ceiling:
+            raise ConfigurationError("need 0 < floor < ceiling")
+        if not 0.0 <= round_fraction <= 1.0:
+            raise ConfigurationError("round_fraction must be in [0, 1]")
+        if round_to <= 0:
+            raise ConfigurationError("round_to must be positive")
+        self.median = median
+        self.sigma = sigma
+        self.floor = floor
+        self.ceiling = ceiling
+        self.round_fraction = round_fraction
+        self.round_to = round_to
+
+    def sample(self, count: int, seed: SeedLike = None) -> np.ndarray:
+        """Draw ``count`` bid prices in dollars."""
+        if count < 0:
+            raise ConfigurationError("count must be non-negative")
+        rng = ensure_generator(seed)
+        prices = rng.lognormal(mean=np.log(self.median), sigma=self.sigma, size=count)
+        prices = np.clip(prices, self.floor, self.ceiling)
+        snap = rng.random(count) < self.round_fraction
+        prices[snap] = np.round(prices[snap] / self.round_to) * self.round_to
+        return np.clip(prices, self.floor, self.ceiling)
+
+
+def sample_costs(
+    count: int,
+    seed: SeedLike = None,
+    *,
+    cost_range: tuple[float, float] = (1.0, 10.0),
+    sampler: PalmM515LikeSampler | None = None,
+) -> np.ndarray:
+    """Draw worker costs: auction-shaped prices rescaled into ``cost_range``.
+
+    The affine rescale maps the sampler's truncation interval (not the
+    realized min/max, which would couple costs across workers) onto
+    ``cost_range``, preserving the distribution shape.
+    """
+    lo, hi = cost_range
+    if not 0 <= lo < hi:
+        raise ConfigurationError("cost_range must satisfy 0 <= lo < hi")
+    sampler = sampler or PalmM515LikeSampler()
+    prices = sampler.sample(count, seed)
+    scale = (hi - lo) / (sampler.ceiling - sampler.floor)
+    return lo + (prices - sampler.floor) * scale

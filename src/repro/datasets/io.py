@@ -1,0 +1,133 @@
+"""CSV round-trip for datasets.
+
+A dataset serializes to three flat CSV files in a directory —
+``tasks.csv``, ``workers.csv``, ``claims.csv`` — human-inspectable and
+diff-friendly, so generated worlds can be archived next to experiment
+results and reloaded bit-identically.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from ..errors import DataFormatError
+from ..types import Dataset, Task, WorkerProfile
+
+__all__ = ["save_dataset", "load_dataset"]
+
+_DOMAIN_SEP = "|"
+
+_TASK_FIELDS = ["task_id", "domain", "requirement", "value", "truth"]
+_WORKER_FIELDS = [
+    "worker_id",
+    "cost",
+    "reliability",
+    "is_copier",
+    "sources",
+    "copy_prob",
+]
+_CLAIM_FIELDS = ["worker_id", "task_id", "value"]
+
+
+def save_dataset(dataset: Dataset, directory: str | Path) -> Path:
+    """Write ``tasks.csv``, ``workers.csv`` and ``claims.csv`` under ``directory``.
+
+    Returns the directory path.  Domain values must not contain the
+    ``|`` separator (validated before writing anything).
+    """
+    directory = Path(directory)
+    for task in dataset.tasks:
+        for value in task.domain:
+            if _DOMAIN_SEP in value:
+                raise DataFormatError(
+                    f"task {task.task_id}: domain value {value!r} contains "
+                    f"the reserved separator {_DOMAIN_SEP!r}"
+                )
+    directory.mkdir(parents=True, exist_ok=True)
+
+    with open(directory / "tasks.csv", "w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=_TASK_FIELDS)
+        writer.writeheader()
+        for task in dataset.tasks:
+            writer.writerow(
+                {
+                    "task_id": task.task_id,
+                    "domain": _DOMAIN_SEP.join(task.domain),
+                    "requirement": repr(task.requirement),
+                    "value": repr(task.value),
+                    "truth": task.truth if task.truth is not None else "",
+                }
+            )
+
+    with open(directory / "workers.csv", "w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=_WORKER_FIELDS)
+        writer.writeheader()
+        for worker in dataset.workers:
+            writer.writerow(
+                {
+                    "worker_id": worker.worker_id,
+                    "cost": repr(worker.cost),
+                    "reliability": repr(worker.reliability),
+                    "is_copier": "1" if worker.is_copier else "0",
+                    "sources": _DOMAIN_SEP.join(worker.sources),
+                    "copy_prob": repr(worker.copy_prob),
+                }
+            )
+
+    with open(directory / "claims.csv", "w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=_CLAIM_FIELDS)
+        writer.writeheader()
+        for (worker_id, task_id), value in sorted(dataset.claims.items()):
+            writer.writerow(
+                {"worker_id": worker_id, "task_id": task_id, "value": value}
+            )
+    return directory
+
+
+def _read_rows(path: Path, expected_fields: list[str]) -> list[dict[str, str]]:
+    if not path.exists():
+        raise DataFormatError(f"missing dataset file: {path}")
+    with open(path, newline="") as handle:
+        reader = csv.DictReader(handle)
+        if reader.fieldnames is None or list(reader.fieldnames) != expected_fields:
+            raise DataFormatError(
+                f"{path.name}: expected columns {expected_fields}, "
+                f"got {reader.fieldnames}"
+            )
+        return list(reader)
+
+
+def load_dataset(directory: str | Path) -> Dataset:
+    """Load a dataset previously written by :func:`save_dataset`."""
+    directory = Path(directory)
+    tasks = []
+    for row in _read_rows(directory / "tasks.csv", _TASK_FIELDS):
+        domain = tuple(row["domain"].split(_DOMAIN_SEP)) if row["domain"] else ()
+        tasks.append(
+            Task(
+                task_id=row["task_id"],
+                domain=domain,
+                requirement=float(row["requirement"]),
+                value=float(row["value"]),
+                truth=row["truth"] or None,
+            )
+        )
+    workers = []
+    for row in _read_rows(directory / "workers.csv", _WORKER_FIELDS):
+        sources = tuple(row["sources"].split(_DOMAIN_SEP)) if row["sources"] else ()
+        workers.append(
+            WorkerProfile(
+                worker_id=row["worker_id"],
+                cost=float(row["cost"]),
+                reliability=float(row["reliability"]),
+                is_copier=row["is_copier"] == "1",
+                sources=sources,
+                copy_prob=float(row["copy_prob"]),
+            )
+        )
+    claims = {
+        (row["worker_id"], row["task_id"]): row["value"]
+        for row in _read_rows(directory / "claims.csv", _CLAIM_FIELDS)
+    }
+    return Dataset(tasks=tuple(tasks), workers=tuple(workers), claims=claims)

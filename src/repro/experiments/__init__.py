@@ -1,0 +1,21 @@
+"""One runner per paper table/figure, plus the experiment registry.
+
+Every runner returns an :class:`~repro.simulation.sweep.ExperimentResult`
+whose series reproduce the corresponding paper plot.  Runners accept a
+``scale`` preset (``"quick"`` for CI-sized runs, ``"paper"`` for the
+full Sec. VII-A setup) plus explicit overrides; the registry maps
+experiment ids (``fig3a`` ... ``fig8b``, ``table1``, ``approx``) to
+runners for the CLI and the benchmark harness.
+"""
+
+from .common import PAPER_SCALE, QUICK_SCALE, ScalePreset
+from .registry import get_experiment, list_experiments, run_experiment
+
+__all__ = [
+    "PAPER_SCALE",
+    "QUICK_SCALE",
+    "ScalePreset",
+    "get_experiment",
+    "list_experiments",
+    "run_experiment",
+]

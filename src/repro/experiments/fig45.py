@@ -1,0 +1,213 @@
+"""Figs. 4 and 5 — precision and running time of the truth-discovery
+algorithms versus the number of tasks and workers.
+
+Paper findings (Sec. VII-B):
+
+- Fig. 4a: precision declines slightly as tasks grow (later tasks have
+  fewer answers); DATE beats MV and NC (avg +8.4% / +7.4%), ED edges
+  DATE (+0.8%).
+- Fig. 4b: precision rises with workers for every algorithm.
+- Fig. 5: running time grows with both dimensions; ED is by far the
+  slowest (DATE ≈ 42.6% of ED's time at n=120, m=300), MV the fastest.
+
+The two figures share their sweeps, so each runner measures precision
+and wall-clock in a single pass and slices out the requested metric.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from ..core.indexing import DatasetIndex
+from ..simulation.config import ExperimentConfig
+from ..simulation.metrics import precision
+from ..simulation.sweep import ExperimentResult, sweep_series
+from ..simulation.timing import timed
+from .common import ScalePreset, base_config, resolve_scale, truth_algorithms
+
+__all__ = ["run_fig4a", "run_fig4b", "run_fig5a", "run_fig5b"]
+
+
+def _default_task_grid(preset: ScalePreset) -> tuple[int, ...]:
+    top = preset.n_tasks
+    return tuple(int(round(top * f)) for f in (1 / 6, 1 / 3, 1 / 2, 2 / 3, 5 / 6, 1.0))
+
+
+def _default_worker_grid(preset: ScalePreset) -> tuple[int, ...]:
+    top = preset.n_workers
+    return tuple(int(round(top * f)) for f in (1 / 6, 1 / 3, 1 / 2, 2 / 3, 5 / 6, 1.0))
+
+
+def _measure(
+    config: ExperimentConfig,
+    *,
+    vary: str,
+    metric: str,
+    include_ed: bool,
+) -> dict[str, object]:
+    """Run all algorithms over the sweep; returns series for one metric.
+
+    Varying tasks/workers takes *prefixes* of each full-size instance
+    (paper: "we select the tasks based on the index in the increasing
+    order from the data set"), so a larger grid point sees a superset
+    of the smaller one's data.
+    """
+    datasets = config.datasets()
+    indexes = {}
+
+    def subset(k: int, size: int):
+        key = (k, size)
+        if key not in indexes:
+            full = datasets[k]
+            if vary == "tasks":
+                keep = [t.task_id for t in full.tasks[:size]]
+                ds = full.subset(task_ids=keep)
+            else:
+                keep = [w.worker_id for w in full.workers[:size]]
+                ds = full.subset(worker_ids=keep)
+            indexes[key] = (ds, DatasetIndex(ds))
+        return indexes[key]
+
+    def point(size: float) -> dict[str, float]:
+        size = int(size)
+        sums: dict[str, float] = {}
+        for k in range(len(datasets)):
+            ds, index = subset(k, size)
+            algorithms = truth_algorithms(config.date, include_ed=include_ed)
+            for name, algorithm in algorithms.items():
+                result, seconds = timed(algorithm.run, ds, index=index)
+                value = precision(result, ds) if metric == "precision" else seconds
+                sums[name] = sums.get(name, 0.0) + value
+        return {name: total / len(datasets) for name, total in sums.items()}
+
+    return {"point_fn": point, "datasets": datasets}
+
+
+def _run(
+    experiment_id: str,
+    title: str,
+    metric: str,
+    vary: str,
+    scale: str | ScalePreset,
+    instances: int | None,
+    base_seed: int,
+    grid: Sequence[int] | None,
+    include_ed: bool,
+    paper_expectation: str,
+) -> ExperimentResult:
+    preset = resolve_scale(scale)
+    config = base_config(preset, instances=instances, base_seed=base_seed)
+    if grid is None:
+        grid = (
+            _default_task_grid(preset) if vary == "tasks" else _default_worker_grid(preset)
+        )
+    measured = _measure(config, vary=vary, metric=metric, include_ed=include_ed)
+    return sweep_series(
+        experiment_id,
+        title,
+        f"number of {vary}",
+        metric if metric == "precision" else "seconds",
+        grid,
+        measured["point_fn"],
+        meta={
+            "paper_expectation": paper_expectation,
+            "instances": config.instances,
+            "base_seed": base_seed,
+            "scale": preset.name,
+        },
+    )
+
+
+def run_fig4a(
+    scale: str | ScalePreset = "quick",
+    *,
+    instances: int | None = None,
+    base_seed: int = 42,
+    task_grid: Sequence[int] | None = None,
+    include_ed: bool = True,
+) -> ExperimentResult:
+    """Precision vs. number of tasks for MV / NC / DATE / ED."""
+    return _run(
+        "fig4a",
+        "Precision versus number of tasks",
+        "precision",
+        "tasks",
+        scale,
+        instances,
+        base_seed,
+        task_grid,
+        include_ed,
+        "DATE > NC > MV (avg +8.4% over MV, +7.4% over NC); ED >= DATE "
+        "(+0.8%); precision declines slightly as tasks grow",
+    )
+
+
+def run_fig4b(
+    scale: str | ScalePreset = "quick",
+    *,
+    instances: int | None = None,
+    base_seed: int = 42,
+    worker_grid: Sequence[int] | None = None,
+    include_ed: bool = True,
+) -> ExperimentResult:
+    """Precision vs. number of workers for MV / NC / DATE / ED."""
+    return _run(
+        "fig4b",
+        "Precision versus number of workers",
+        "precision",
+        "workers",
+        scale,
+        instances,
+        base_seed,
+        worker_grid,
+        include_ed,
+        "all algorithms gain precision with more workers; ordering "
+        "ED >= DATE > NC > MV preserved",
+    )
+
+
+def run_fig5a(
+    scale: str | ScalePreset = "quick",
+    *,
+    instances: int | None = None,
+    base_seed: int = 42,
+    task_grid: Sequence[int] | None = None,
+    include_ed: bool = True,
+) -> ExperimentResult:
+    """Running time vs. number of tasks for MV / NC / DATE / ED."""
+    return _run(
+        "fig5a",
+        "Truth-discovery running time versus number of tasks",
+        "runtime",
+        "tasks",
+        scale,
+        instances,
+        base_seed,
+        task_grid,
+        include_ed,
+        "running time grows with tasks; ED slowest by a wide margin "
+        "(DATE at 42.6% of ED's time at n=120, m=300), MV fastest",
+    )
+
+
+def run_fig5b(
+    scale: str | ScalePreset = "quick",
+    *,
+    instances: int | None = None,
+    base_seed: int = 42,
+    worker_grid: Sequence[int] | None = None,
+    include_ed: bool = True,
+) -> ExperimentResult:
+    """Running time vs. number of workers for MV / NC / DATE / ED."""
+    return _run(
+        "fig5b",
+        "Truth-discovery running time versus number of workers",
+        "runtime",
+        "workers",
+        scale,
+        instances,
+        base_seed,
+        worker_grid,
+        include_ed,
+        "running time grows with workers; ED slowest, MV fastest",
+    )

@@ -1,0 +1,110 @@
+"""Experiment registry: id -> runner.
+
+The single source of truth for "what can be reproduced": the CLI, the
+benchmark harness, and EXPERIMENTS.md all enumerate this table.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+from typing import Any
+
+from ..errors import UnknownExperimentError
+from ..simulation.sweep import ExperimentResult
+from .ablation import run_ablation
+from .approx import run_approx
+from .fig3 import run_fig3a, run_fig3b
+from .fig45 import run_fig4a, run_fig4b, run_fig5a, run_fig5b
+from .fig67 import run_fig6a, run_fig6b, run_fig7a, run_fig7b
+from .fig8 import run_fig8a, run_fig8b
+from .table1 import run_table1
+from .winners import run_winners_quality
+
+__all__ = ["Experiment", "get_experiment", "list_experiments", "run_experiment"]
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """A registered experiment."""
+
+    experiment_id: str
+    paper_reference: str
+    summary: str
+    runner: Callable[..., ExperimentResult]
+
+
+_REGISTRY: dict[str, Experiment] = {}
+
+
+def _register(
+    experiment_id: str,
+    paper_reference: str,
+    summary: str,
+    runner: Callable[..., ExperimentResult],
+) -> None:
+    _REGISTRY[experiment_id] = Experiment(
+        experiment_id=experiment_id,
+        paper_reference=paper_reference,
+        summary=summary,
+        runner=runner,
+    )
+
+
+_register(
+    "table1",
+    "Table 1",
+    "Motivating example: majority voting fooled by two copiers",
+    run_table1,
+)
+_register("fig3a", "Fig. 3a", "DATE precision vs initial accuracy ε and prior α", run_fig3a)
+_register("fig3b", "Fig. 3b", "DATE precision vs assumed copy probability r", run_fig3b)
+_register("fig4a", "Fig. 4a", "Precision vs number of tasks (MV/NC/DATE/ED)", run_fig4a)
+_register("fig4b", "Fig. 4b", "Precision vs number of workers (MV/NC/DATE/ED)", run_fig4b)
+_register("fig5a", "Fig. 5a", "Truth-discovery runtime vs number of tasks", run_fig5a)
+_register("fig5b", "Fig. 5b", "Truth-discovery runtime vs number of workers", run_fig5b)
+_register("fig6a", "Fig. 6a", "Social cost vs number of tasks (RA/GA/GB)", run_fig6a)
+_register("fig6b", "Fig. 6b", "Social cost vs number of workers (RA/GA/GB)", run_fig6b)
+_register("fig7a", "Fig. 7a", "Auction runtime vs number of tasks (RA/GA/GB)", run_fig7a)
+_register("fig7b", "Fig. 7b", "Auction runtime vs number of workers (RA/GA/GB)", run_fig7b)
+_register("fig8a", "Fig. 8a", "Truthfulness: winner utility vs declared bid", run_fig8a)
+_register("fig8b", "Fig. 8b", "Truthfulness: loser utility vs declared bid", run_fig8b)
+_register(
+    "approx",
+    "Theorem 3 (extension)",
+    "Empirical approximation ratio vs exact ILP optimum",
+    run_approx,
+)
+_register(
+    "ablation",
+    "DESIGN.md §4 (extension)",
+    "Precision ablation of DATE's design choices",
+    run_ablation,
+)
+_register(
+    "winners",
+    "SOAC premise (extension)",
+    "Truth-discovery precision using only auction winners",
+    run_winners_quality,
+)
+
+
+def list_experiments() -> list[Experiment]:
+    """All registered experiments, in registration (paper) order."""
+    return list(_REGISTRY.values())
+
+
+def get_experiment(experiment_id: str) -> Experiment:
+    """Look up one experiment; raises :class:`UnknownExperimentError`."""
+    experiment = _REGISTRY.get(experiment_id)
+    if experiment is None:
+        raise UnknownExperimentError(
+            f"unknown experiment {experiment_id!r}; "
+            f"known: {', '.join(sorted(_REGISTRY))}"
+        )
+    return experiment
+
+
+def run_experiment(experiment_id: str, **kwargs: Any) -> ExperimentResult:
+    """Run one experiment by id with runner-specific keyword arguments."""
+    return get_experiment(experiment_id).runner(**kwargs)

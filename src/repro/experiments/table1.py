@@ -1,0 +1,151 @@
+"""Table 1 — the motivating researcher-affiliation example.
+
+Five workers report the affiliations of five researchers.  Worker 1 is
+fully correct; workers 4 and 5 copy worker 3 (who is wrong about
+Dewitt, Carey, and Halevy), so naive majority voting elects the copied
+wrong answers for those three tasks.  A copier-aware method should
+recover all five truths.
+
+The claim matrix transcribes Table 1 (the OCR'd "UWise"/"UWisc" split
+is a typo in the extracted text; the original example — borrowed from
+Dong et al. [15] — has workers 3-5 agreeing on "UWisc").  Domains are
+padded with plausible distractor affiliations so ``num_j`` reflects a
+realistic answer space rather than just the observed values.
+"""
+
+from __future__ import annotations
+
+from ..baselines import EnumerateDependence, MajorityVote, NoCopier
+from ..core.config import DateConfig
+from ..core.date import DATE
+from ..simulation.sweep import ExperimentResult
+from ..types import Dataset, Task, WorkerProfile
+
+__all__ = ["build_affiliation_example", "run_table1", "TABLE1_TRUTHS"]
+
+#: Ground truth of the example.
+TABLE1_TRUTHS: dict[str, str] = {
+    "Stonebraker": "MIT",
+    "Dewitt": "MSR",
+    "Bernstein": "MSR",
+    "Carey": "UCI",
+    "Halevy": "Google",
+}
+
+#: Distractor affiliations padding each task's domain to num_j = 5.
+_DISTRACTORS = ("Stanford", "CMU", "Oracle")
+
+#: Claims per worker, in task order (Stonebraker, Dewitt, Bernstein,
+#: Carey, Halevy).  Worker 1 is correct everywhere; workers 4 and 5
+#: copy worker 3.
+_CLAIM_ROWS: dict[str, tuple[str, str, str, str, str]] = {
+    "w1": ("MIT", "MSR", "MSR", "UCI", "Google"),
+    "w2": ("Berkeley", "MSR", "MSR", "AT&T", "Google"),
+    "w3": ("MIT", "UWisc", "MSR", "BEA", "UW"),
+    "w4": ("MIT", "UWisc", "MSR", "BEA", "UW"),
+    "w5": ("MS", "UWisc", "MSR", "BEA", "UW"),
+}
+
+_OBSERVED_PER_TASK: dict[str, tuple[str, ...]] = {
+    "Stonebraker": ("MIT", "Berkeley", "MS"),
+    "Dewitt": ("MSR", "UWisc"),
+    "Bernstein": ("MSR",),
+    "Carey": ("UCI", "AT&T", "BEA"),
+    "Halevy": ("Google", "UW"),
+}
+
+
+def build_affiliation_example() -> Dataset:
+    """The Table 1 dataset: 5 tasks, 5 workers, workers 4-5 copying 3."""
+    tasks = []
+    for name, truth in TABLE1_TRUTHS.items():
+        observed = _OBSERVED_PER_TASK[name]
+        padding = tuple(d for d in _DISTRACTORS if d not in observed)
+        domain = tuple(dict.fromkeys((*observed, *padding)))
+        tasks.append(
+            Task(task_id=name, domain=domain, requirement=1.0, value=1.0, truth=truth)
+        )
+    workers = (
+        WorkerProfile(worker_id="w1", cost=3.0, reliability=1.0),
+        WorkerProfile(worker_id="w2", cost=4.0, reliability=0.6),
+        WorkerProfile(worker_id="w3", cost=2.0, reliability=0.4),
+        WorkerProfile(
+            worker_id="w4",
+            cost=2.5,
+            reliability=0.4,
+            is_copier=True,
+            sources=("w3",),
+            copy_prob=1.0,
+        ),
+        WorkerProfile(
+            worker_id="w5",
+            cost=2.0,
+            reliability=0.4,
+            is_copier=True,
+            sources=("w3",),
+            copy_prob=0.8,
+        ),
+    )
+    claims = {
+        (worker_id, task.task_id): values[j]
+        for worker_id, values in _CLAIM_ROWS.items()
+        for j, task in enumerate(tasks)
+    }
+    return Dataset(tasks=tuple(tasks), workers=workers, claims=claims)
+
+
+def run_table1(
+    *, date_config: DateConfig | None = None, base_seed: int = 42
+) -> ExperimentResult:
+    """Reproduce the Table 1 story: MV fails on 3 tasks, DATE recovers.
+
+    Series are per-task correctness indicators (1 = estimated truth
+    matches ground truth); meta carries the estimated value strings for
+    inspection.  ``base_seed`` is accepted for registry uniformity; the
+    example is fully deterministic.
+    """
+    dataset = build_affiliation_example()
+    # A near-1 assumed r suits wholesale copying (worker 4 copies 100%
+    # of worker 3's data), a strong prior α gives the five-task evidence
+    # enough leverage, and the total-dependence discount handles the
+    # unidentifiable copy direction (copier and source submit identical
+    # data); see DESIGN.md §4.
+    config = date_config or DateConfig(
+        copy_prob_r=0.9,
+        prior_alpha=0.5,
+        discount_mode="total",
+    )
+    algorithms = {
+        "MV": MajorityVote(),
+        "NC": NoCopier(config),
+        "DATE": DATE(config),
+        "ED": EnumerateDependence(config),
+    }
+    task_names = list(TABLE1_TRUTHS)
+    series: dict[str, tuple[float, ...]] = {}
+    estimates: dict[str, dict[str, str]] = {}
+    for name, algorithm in algorithms.items():
+        result = algorithm.run(dataset)
+        estimates[name] = dict(result.truths)
+        series[name] = tuple(
+            1.0 if result.truths.get(task) == TABLE1_TRUTHS[task] else 0.0
+            for task in task_names
+        )
+    return ExperimentResult(
+        experiment_id="table1",
+        title="Table 1: researcher affiliations with two copiers of worker 3",
+        x_label="task index",
+        y_label="correct (1) / wrong (0)",
+        x_values=tuple(range(len(task_names))),
+        series=series,
+        meta={
+            "paper_expectation": (
+                "majority voting elects the copied wrong answers for "
+                "Dewitt, Carey and Halevy (2/5 correct); copier-aware "
+                "truth discovery recovers all five"
+            ),
+            "tasks": task_names,
+            "truths": TABLE1_TRUTHS,
+            "estimates": estimates,
+        },
+    )

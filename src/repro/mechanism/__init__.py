@@ -1,0 +1,5 @@
+"""IMC2 — the paper's end-to-end two-stage incentive mechanism."""
+
+from .imc2 import IMC2, IMC2Outcome
+
+__all__ = ["IMC2", "IMC2Outcome"]

@@ -1,0 +1,18 @@
+"""Reporting: ASCII tables, ASCII line charts, CSV/JSON export.
+
+The harness renders every reproduced table/figure directly in the
+terminal (no plotting dependencies) and exports machine-readable CSV so
+results can be archived and diffed across runs.
+"""
+
+from .export import write_csv, write_json
+from .figures import render_chart
+from .tables import format_table, render_result_table
+
+__all__ = [
+    "format_table",
+    "render_chart",
+    "render_result_table",
+    "write_csv",
+    "write_json",
+]

@@ -1,0 +1,52 @@
+"""CSV / JSON export of experiment results."""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+from ..simulation.sweep import ExperimentResult
+
+__all__ = ["write_csv", "write_json"]
+
+
+def write_csv(result: ExperimentResult, path: str | Path) -> Path:
+    """Write ``x, series...`` rows to ``path`` (parents created)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow([result.x_label, *result.series_names])
+        for row in result.rows():
+            writer.writerow([repr(c) if isinstance(c, float) else c for c in row])
+    return path
+
+
+def write_json(result: ExperimentResult, path: str | Path) -> Path:
+    """Write the full result (including meta) as JSON."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "experiment_id": result.experiment_id,
+        "title": result.title,
+        "x_label": result.x_label,
+        "y_label": result.y_label,
+        "x_values": list(result.x_values),
+        "series": {name: list(ys) for name, ys in result.series.items()},
+        "meta": {k: _jsonable(v) for k, v in result.meta.items()},
+    }
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def _jsonable(value: object) -> object:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    return str(value)

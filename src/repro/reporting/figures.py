@@ -1,0 +1,73 @@
+"""ASCII line charts — figure rendering without plotting dependencies.
+
+Each series of an :class:`~repro.simulation.sweep.ExperimentResult`
+gets a marker character; points are scattered on a character grid with
+axis labels and a legend.  Good enough to eyeball the *shape* — which
+is the reproduction target — straight from a terminal or a CI log.
+"""
+
+from __future__ import annotations
+
+from ..simulation.sweep import ExperimentResult
+
+__all__ = ["render_chart"]
+
+_MARKERS = "o*x+#@%&"
+
+
+def render_chart(
+    result: ExperimentResult,
+    *,
+    width: int = 60,
+    height: int = 16,
+) -> str:
+    """Render the result as an ASCII chart with a legend."""
+    if width < 10 or height < 4:
+        raise ValueError("chart needs width >= 10 and height >= 4")
+    xs = result.x_values
+    all_ys = [y for ys in result.series.values() for y in ys]
+    if not all_ys:
+        return f"(no data for {result.experiment_id})"
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(all_ys), max(all_ys)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def plot(x: float, y: float, marker: str) -> None:
+        col = int(round((x - x_min) / x_span * (width - 1)))
+        row = int(round((y - y_min) / y_span * (height - 1)))
+        grid[height - 1 - row][col] = marker
+
+    legend = []
+    for index, (name, ys) in enumerate(result.series.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        legend.append(f"{marker} = {name}")
+        for x, y in zip(xs, ys):
+            plot(x, y, marker)
+
+    y_labels = [f"{y_max:.3g}", f"{(y_max + y_min) / 2:.3g}", f"{y_min:.3g}"]
+    label_width = max(len(label) for label in y_labels)
+    lines = [f"{result.experiment_id}: {result.title}"]
+    lines.append(f"{result.y_label}".rjust(label_width + 2))
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = y_labels[0]
+        elif row_index == height // 2:
+            label = y_labels[1]
+        elif row_index == height - 1:
+            label = y_labels[2]
+        else:
+            label = ""
+        lines.append(f"{label.rjust(label_width)} |{''.join(row)}")
+    lines.append(f"{' ' * label_width} +{'-' * width}")
+    x_left = f"{x_min:.3g}"
+    x_right = f"{x_max:.3g}"
+    padding = width - len(x_left) - len(x_right)
+    lines.append(
+        f"{' ' * label_width}  {x_left}{' ' * max(padding, 1)}{x_right}"
+    )
+    lines.append(f"{' ' * label_width}  {result.x_label}")
+    lines.append("  " + "   ".join(legend))
+    return "\n".join(lines)

@@ -1,0 +1,56 @@
+"""Plain-text table rendering."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from ..simulation.sweep import ExperimentResult
+
+__all__ = ["format_table", "render_result_table"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    float_format: str = "{:.4f}",
+) -> str:
+    """Render a left-padded ASCII table.
+
+    Floats format via ``float_format``; everything else via ``str``.
+    """
+    def fmt(cell: object) -> str:
+        if isinstance(cell, float):
+            return float_format.format(cell)
+        return str(cell)
+
+    text_rows = [[fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells for {len(headers)} headers"
+            )
+        for k, cell in enumerate(row):
+            widths[k] = max(widths[k], len(cell))
+    header_line = " | ".join(h.ljust(widths[k]) for k, h in enumerate(headers))
+    rule = "-+-".join("-" * w for w in widths)
+    body = [
+        " | ".join(cell.rjust(widths[k]) for k, cell in enumerate(row))
+        for row in text_rows
+    ]
+    return "\n".join([header_line, rule, *body])
+
+
+def render_result_table(result: ExperimentResult) -> str:
+    """Render an :class:`ExperimentResult` as ``x | series...`` rows."""
+    headers = [result.x_label, *result.series_names]
+    lines = [
+        f"== {result.experiment_id}: {result.title} ==",
+        format_table(headers, result.rows()),
+    ]
+    if result.meta:
+        lines.append("")
+        for key, value in result.meta.items():
+            lines.append(f"  {key}: {value}")
+    return "\n".join(lines)

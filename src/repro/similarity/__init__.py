@@ -1,0 +1,35 @@
+"""Value-similarity substrate for the Sec. IV-A extension.
+
+The paper merges "multiple presentations" of the same truth
+(abbreviations, typos) by converting values to word vectors [25] and
+comparing them with cosine / Euclidean / Pearson / asymmetric
+similarity.  Pretrained embeddings are unavailable offline, so
+:class:`CharNgramVectorizer` provides a deterministic character-n-gram
+hashing embedding with the same interface, and
+:func:`normalized_levenshtein` offers a vector-free alternative.
+
+:func:`string_similarity` builds the ``sim(v, v')`` callback that
+:class:`~repro.core.config.DateConfig` plugs into the support-count
+adjustment (Eq. 21).
+"""
+
+from .levenshtein import levenshtein_distance, normalized_levenshtein
+from .measures import (
+    asymmetric_similarity,
+    cosine_similarity,
+    euclidean_similarity,
+    pearson_similarity,
+    string_similarity,
+)
+from .vectorize import CharNgramVectorizer
+
+__all__ = [
+    "CharNgramVectorizer",
+    "asymmetric_similarity",
+    "cosine_similarity",
+    "euclidean_similarity",
+    "levenshtein_distance",
+    "normalized_levenshtein",
+    "pearson_similarity",
+    "string_similarity",
+]

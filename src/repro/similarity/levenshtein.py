@@ -1,0 +1,43 @@
+"""Levenshtein (edit) distance and its normalized similarity.
+
+Pure-Python two-row dynamic program — no dependencies, O(len(a)·len(b))
+time, O(min(len)) space.  The normalized form maps distance into a
+similarity in [0, 1] suitable for the Eq. 21 support adjustment.
+"""
+
+from __future__ import annotations
+
+__all__ = ["levenshtein_distance", "normalized_levenshtein"]
+
+
+def levenshtein_distance(a: str, b: str) -> int:
+    """Minimum number of single-character edits transforming ``a`` into ``b``."""
+    if a == b:
+        return 0
+    if not a:
+        return len(b)
+    if not b:
+        return len(a)
+    # Keep the shorter string in the inner dimension.
+    if len(b) < len(a):
+        a, b = b, a
+    previous = list(range(len(a) + 1))
+    for i, char_b in enumerate(b, start=1):
+        current = [i]
+        for j, char_a in enumerate(a, start=1):
+            insert_cost = current[j - 1] + 1
+            delete_cost = previous[j] + 1
+            substitute_cost = previous[j - 1] + (char_a != char_b)
+            current.append(min(insert_cost, delete_cost, substitute_cost))
+        previous = current
+    return previous[-1]
+
+
+def normalized_levenshtein(a: str, b: str) -> float:
+    """``1 - distance / max(len)`` — 1.0 for equal strings, 0.0 for disjoint."""
+    if a == b:
+        return 1.0
+    longest = max(len(a), len(b))
+    if longest == 0:
+        return 1.0
+    return 1.0 - levenshtein_distance(a, b) / longest

@@ -1,0 +1,140 @@
+"""Vector similarity measures and the string-similarity factory.
+
+The four measures the paper cites for comparing value vectors
+(Sec. IV-A): Euclidean [21], Pearson [22], asymmetric [23], and cosine
+[24].  All are mapped into [0, 1] so they can directly weight the
+Eq. 21 support adjustment.
+
+:func:`string_similarity` composes a measure with a vectorizer (or the
+vector-free Levenshtein similarity) into the cached ``sim(v, v')``
+callback consumed by :class:`~repro.core.config.DateConfig`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .levenshtein import normalized_levenshtein
+from .vectorize import CharNgramVectorizer
+
+__all__ = [
+    "cosine_similarity",
+    "euclidean_similarity",
+    "pearson_similarity",
+    "asymmetric_similarity",
+    "string_similarity",
+]
+
+
+def cosine_similarity(u: np.ndarray, v: np.ndarray) -> float:
+    """Cosine of the angle between ``u`` and ``v``, clipped to [0, 1].
+
+    Negative cosines (impossible for count vectors, possible for general
+    embeddings) clip to 0: anti-correlated values lend no support.
+    """
+    nu = float(np.linalg.norm(u))
+    nv = float(np.linalg.norm(v))
+    if nu == 0.0 or nv == 0.0:
+        return 0.0
+    return float(np.clip(np.dot(u, v) / (nu * nv), 0.0, 1.0))
+
+
+def euclidean_similarity(u: np.ndarray, v: np.ndarray) -> float:
+    """``1 / (1 + ||u - v||)`` — distance mapped into (0, 1]."""
+    return 1.0 / (1.0 + float(np.linalg.norm(np.asarray(u) - np.asarray(v))))
+
+
+def pearson_similarity(u: np.ndarray, v: np.ndarray) -> float:
+    """Pearson correlation rescaled from [-1, 1] into [0, 1].
+
+    Constant vectors have undefined correlation; they count as fully
+    similar to each other and dissimilar to anything else.
+    """
+    u = np.asarray(u, dtype=np.float64)
+    v = np.asarray(v, dtype=np.float64)
+    du = u - u.mean()
+    dv = v - v.mean()
+    nu = float(np.linalg.norm(du))
+    nv = float(np.linalg.norm(dv))
+    if nu == 0.0 and nv == 0.0:
+        return 1.0 if np.allclose(u, v) else 0.0
+    if nu == 0.0 or nv == 0.0:
+        return 0.0
+    corr = float(np.dot(du, dv) / (nu * nv))
+    return (np.clip(corr, -1.0, 1.0) + 1.0) / 2.0
+
+
+def asymmetric_similarity(u: np.ndarray, v: np.ndarray) -> float:
+    """Directed overlap: how much of ``u``'s mass is matched by ``v`` [23].
+
+    ``Σ min(u, v) / Σ u`` for non-negative vectors — 1.0 when ``u`` is
+    contained in ``v`` (an abbreviation inside the full form), smaller
+    the other way around.
+    """
+    u = np.abs(np.asarray(u, dtype=np.float64))
+    v = np.abs(np.asarray(v, dtype=np.float64))
+    mass = float(u.sum())
+    if mass == 0.0:
+        return 0.0
+    return float(np.minimum(u, v).sum() / mass)
+
+
+_VECTOR_MEASURES: dict[str, Callable[[np.ndarray, np.ndarray], float]] = {
+    "cosine": cosine_similarity,
+    "euclidean": euclidean_similarity,
+    "pearson": pearson_similarity,
+    "asymmetric": asymmetric_similarity,
+}
+
+
+def string_similarity(
+    measure: str = "cosine",
+    *,
+    vectorizer: CharNgramVectorizer | None = None,
+    threshold: float = 0.0,
+) -> Callable[[str, str], float]:
+    """Build a cached ``sim(v, v') -> [0, 1]`` callback for Eq. 21.
+
+    ``measure`` is one of ``cosine``, ``euclidean``, ``pearson``,
+    ``asymmetric`` (over hashed n-gram vectors) or ``levenshtein``
+    (no vectorizer).  Similarities at or below ``threshold`` are
+    reported as 0 so weak resemblances lend no support.
+    """
+    if not 0.0 <= threshold < 1.0:
+        raise ConfigurationError("threshold must be in [0, 1)")
+    cache: dict[tuple[str, str], float] = {}
+
+    if measure == "levenshtein":
+        def base(a: str, b: str) -> float:
+            return normalized_levenshtein(a, b)
+    elif measure in _VECTOR_MEASURES:
+        vec = vectorizer or CharNgramVectorizer()
+        metric = _VECTOR_MEASURES[measure]
+
+        def base(a: str, b: str) -> float:
+            return metric(vec.transform(a), vec.transform(b))
+    else:
+        raise ConfigurationError(
+            f"unknown measure {measure!r}; expected one of "
+            f"{sorted(_VECTOR_MEASURES)} or 'levenshtein'"
+        )
+
+    symmetric = measure != "asymmetric"
+
+    def sim(a: str, b: str) -> float:
+        if a == b:
+            return 1.0
+        if symmetric and b < a:
+            key = (b, a)
+        else:
+            key = (a, b)
+        value = cache.get(key)
+        if value is None:
+            value = base(*key)
+            cache[key] = value
+        return value if value > threshold else 0.0
+
+    return sim

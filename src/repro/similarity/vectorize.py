@@ -1,0 +1,87 @@
+"""Deterministic character-n-gram hashing vectorizer.
+
+Stands in for the word2vec embeddings of [25] (see DESIGN.md §3): each
+string maps to a fixed-dimension count vector of its character n-grams,
+hashed with CRC32 (stable across processes, unlike Python's salted
+``hash``).  Strings sharing substrings land near each other, which is
+exactly the property the multiple-presentations extension needs
+("IT" vs "Information Technology", "MSR" vs "MS Research").
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+__all__ = ["CharNgramVectorizer"]
+
+
+class CharNgramVectorizer:
+    """Embed strings as L2-normalized hashed character-n-gram counts.
+
+    Parameters
+    ----------
+    ngram_range:
+        Inclusive (min_n, max_n) n-gram sizes; defaults to bigrams and
+        trigrams.
+    dimension:
+        Size of the hashed output space.
+    lowercase:
+        Case-fold before extracting n-grams.
+    pad:
+        Surround the string with boundary markers so prefixes/suffixes
+        are distinguishable from interior substrings.
+    """
+
+    def __init__(
+        self,
+        *,
+        ngram_range: tuple[int, int] = (2, 3),
+        dimension: int = 128,
+        lowercase: bool = True,
+        pad: bool = True,
+    ):
+        lo, hi = ngram_range
+        if not 1 <= lo <= hi:
+            raise ConfigurationError("ngram_range must satisfy 1 <= min <= max")
+        if dimension < 1:
+            raise ConfigurationError("dimension must be >= 1")
+        self.ngram_range = (lo, hi)
+        self.dimension = dimension
+        self.lowercase = lowercase
+        self.pad = pad
+        self._cache: dict[str, np.ndarray] = {}
+
+    def _ngrams(self, text: str) -> list[str]:
+        if self.lowercase:
+            text = text.lower()
+        if self.pad:
+            text = f"^{text}$"
+        lo, hi = self.ngram_range
+        grams = []
+        for n in range(lo, hi + 1):
+            grams.extend(text[k : k + n] for k in range(max(len(text) - n + 1, 0)))
+        return grams
+
+    def transform(self, text: str) -> np.ndarray:
+        """Embed one string (results are cached per vectorizer)."""
+        cached = self._cache.get(text)
+        if cached is not None:
+            return cached
+        vector = np.zeros(self.dimension, dtype=np.float64)
+        for gram in self._ngrams(text):
+            slot = zlib.crc32(gram.encode("utf-8")) % self.dimension
+            vector[slot] += 1.0
+        norm = float(np.linalg.norm(vector))
+        if norm > 0:
+            vector /= norm
+        vector.setflags(write=False)
+        self._cache[text] = vector
+        return vector
+
+    def transform_many(self, texts: list[str]) -> np.ndarray:
+        """Embed a batch; rows follow input order."""
+        return np.vstack([self.transform(t) for t in texts])

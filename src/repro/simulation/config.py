@@ -1,0 +1,108 @@
+"""Experiment-level configuration.
+
+:class:`ExperimentConfig` combines the three independent ingredient
+groups of every experiment in Sec. VII — the synthetic world shape, the
+copier injection, and the DATE hyperparameters — with the evaluation
+protocol (instances, base seed).  ``dataset_for(k)`` materializes the
+k-th seeded instance; two configs differing only in, say, the assumed
+``r`` see identical datasets instance-for-instance, which is what makes
+the Fig. 3 sensitivity sweeps meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+from ..core.config import DateConfig
+from ..datasets.copiers import inject_copiers
+from ..datasets.qatar_living import QATAR_LIVING_LABELS
+from ..datasets.synthetic import WorldConfig, generate_world
+from ..errors import ConfigurationError
+from ..rng import instance_seeds
+from ..types import Dataset
+
+__all__ = ["ExperimentConfig"]
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """One fully specified experiment (defaults: the paper's Sec. VII-A)."""
+
+    n_tasks: int = 300
+    n_workers: int = 120
+    n_copiers: int = 30
+    target_claims: int = 6000
+    #: Generative copy probability of the injected copiers.
+    copy_prob: float = 0.8
+    #: Copier source structure (mirrors the Qatar-Living preset): pool
+    #: of ~n_copiers/5 sources drawn among low-reliability workers.
+    #: ``source_pool_size=None`` applies that default.
+    source_pool_size: int | None = None
+    source_selection: str = "low_reliability"
+    #: DATE hyperparameters (assumed r, ε, α, φ, ...).
+    date: DateConfig = field(default_factory=DateConfig)
+    #: Extra world parameters; its size fields are overridden by the
+    #: explicit fields above.
+    world: WorldConfig = field(
+        default_factory=lambda: WorldConfig(shared_labels=QATAR_LIVING_LABELS)
+    )
+    #: Number of seeded repetitions each measurement averages over.
+    instances: int = 10
+    base_seed: int = 42
+
+    def __post_init__(self) -> None:
+        if self.n_copiers >= self.n_workers:
+            raise ConfigurationError("n_copiers must be < n_workers")
+        if self.n_copiers < 0:
+            raise ConfigurationError("n_copiers must be >= 0")
+        if not 0.0 <= self.copy_prob <= 1.0:
+            raise ConfigurationError("copy_prob must be in [0, 1]")
+        if self.instances < 1:
+            raise ConfigurationError("instances must be >= 1")
+
+    def evolve(self, **changes: Any) -> "ExperimentConfig":
+        """Return a copy with ``changes`` applied (re-validated)."""
+        return replace(self, **changes)
+
+    @property
+    def world_config(self) -> WorldConfig:
+        """The resolved :class:`WorldConfig` (explicit size fields win)."""
+        labels = self.world.shared_labels
+        num_false = len(labels) - 1 if labels is not None else self.world.num_false
+        return self.world.evolve(
+            n_tasks=self.n_tasks,
+            n_workers=self.n_workers,
+            target_claims=self.target_claims,
+            num_false=num_false,
+        )
+
+    def instance_seed(self, k: int) -> int:
+        """The seed of the k-th instance (stable across config changes)."""
+        if not 0 <= k < self.instances:
+            raise ConfigurationError(
+                f"instance index {k} out of range [0, {self.instances})"
+            )
+        return instance_seeds(self.base_seed, self.instances)[k]
+
+    def dataset_for(self, k: int) -> Dataset:
+        """Materialize the k-th seeded instance (world + copiers)."""
+        seed = self.instance_seed(k)
+        world_config = self.world_config
+        world = generate_world(world_config, seed)
+        pool = self.source_pool_size
+        if pool is None and self.n_copiers > 0:
+            pool = max(self.n_copiers // 5, 2)
+        return inject_copiers(
+            world,
+            self.n_copiers,
+            copy_prob=self.copy_prob,
+            source_pool_size=pool,
+            source_selection=self.source_selection,
+            world_config=world_config,
+            seed=seed + 1,
+        )
+
+    def datasets(self) -> list[Dataset]:
+        """All instances, in index order."""
+        return [self.dataset_for(k) for k in range(self.instances)]

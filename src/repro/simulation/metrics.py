@@ -1,0 +1,117 @@
+"""Evaluation metrics: precision, copier detection, auction quality."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..auction.reverse_auction import AuctionOutcome
+from ..auction.soac import SOACInstance
+from ..core.date import TruthDiscoveryResult
+from ..types import Dataset
+
+__all__ = [
+    "precision",
+    "CopierDetectionReport",
+    "copier_detection_report",
+    "AuctionReport",
+    "auction_report",
+]
+
+
+def precision(result: TruthDiscoveryResult, dataset: Dataset) -> float:
+    """The paper's precision metric: fraction of tasks estimated correctly.
+
+    ``Σ_j g(et_j = et*_j) / |T|`` over tasks with known ground truth
+    (Sec. VII-A).
+    """
+    return result.precision(dataset.truths)
+
+
+@dataclass(frozen=True)
+class CopierDetectionReport:
+    """How well the dependence posteriors separate copiers from independents.
+
+    ``copier_pair_mean`` averages ``P(copier → source | D)`` over the
+    true (copier, source) pairs that co-answered at least one task;
+    ``independent_pair_mean`` averages the total dependence posterior
+    over pairs of truly independent workers.  A useful detector drives
+    the first toward 1 and keeps the second near the prior.
+    """
+
+    copier_pairs: int
+    copier_pair_mean: float
+    independent_pairs: int
+    independent_pair_mean: float
+
+    @property
+    def separation(self) -> float:
+        """Detection margin: copier mean minus independent mean."""
+        return self.copier_pair_mean - self.independent_pair_mean
+
+
+def copier_detection_report(
+    result: TruthDiscoveryResult, dataset: Dataset
+) -> CopierDetectionReport:
+    """Score the dependence posteriors against generative ground truth."""
+    copier_sources = {
+        w.worker_id: set(w.sources) for w in dataset.workers if w.is_copier
+    }
+    copier_like = set(copier_sources)
+
+    copier_probs: list[float] = []
+    independent_probs: list[float] = []
+    for (a, b), posterior in result.dependence.items():
+        a_copies_b = a in copier_sources and b in copier_sources[a]
+        b_copies_a = b in copier_sources and a in copier_sources[b]
+        if a_copies_b:
+            copier_probs.append(posterior.p_a_to_b)
+        if b_copies_a:
+            copier_probs.append(posterior.p_b_to_a)
+        if not a_copies_b and not b_copies_a and not (
+            a in copier_like or b in copier_like
+        ):
+            independent_probs.append(posterior.p_dependent)
+    return CopierDetectionReport(
+        copier_pairs=len(copier_probs),
+        copier_pair_mean=(
+            sum(copier_probs) / len(copier_probs) if copier_probs else 0.0
+        ),
+        independent_pairs=len(independent_probs),
+        independent_pair_mean=(
+            sum(independent_probs) / len(independent_probs)
+            if independent_probs
+            else 0.0
+        ),
+    )
+
+
+@dataclass(frozen=True)
+class AuctionReport:
+    """Quality summary of one auction outcome."""
+
+    social_cost: float
+    total_payment: float
+    n_winners: int
+    overpayment_ratio: float
+    covered: bool
+
+
+def auction_report(instance: SOACInstance, outcome: AuctionOutcome) -> AuctionReport:
+    """Summarize an auction outcome against its instance.
+
+    ``overpayment_ratio`` is total payment divided by the winners'
+    declared bids — how much truthfulness costs the platform on this
+    instance.
+    """
+    winner_bid_total = float(
+        sum(instance.bids[i] for i in outcome.winner_indexes)
+    )
+    return AuctionReport(
+        social_cost=outcome.social_cost,
+        total_payment=outcome.total_payment,
+        n_winners=outcome.n_winners,
+        overpayment_ratio=(
+            outcome.total_payment / winner_bid_total if winner_bid_total > 0 else 1.0
+        ),
+        covered=instance.is_covering(outcome.winner_indexes),
+    )

@@ -1,0 +1,76 @@
+"""Seeded multi-instance execution.
+
+:func:`run_instances` is the harness core: call a metric function once
+per seeded instance and collect the per-instance metric rows into an
+:class:`InstanceTable`, which aggregates each column into
+:class:`~repro.simulation.stats.SummaryStats`.  Experiments (and users)
+supply only the body — "given instance ``k``, produce numbers".
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping
+from dataclasses import dataclass
+
+from .stats import SummaryStats, summarize
+
+__all__ = ["InstanceTable", "run_instances"]
+
+#: Metric function: (instance index) -> {metric name: value}.
+MetricFn = Callable[[int], Mapping[str, float]]
+
+
+@dataclass(frozen=True)
+class InstanceTable:
+    """Per-instance metric rows plus aggregation helpers."""
+
+    rows: tuple[dict[str, float], ...]
+
+    def column(self, name: str) -> list[float]:
+        """All values of one metric, in instance order."""
+        try:
+            return [row[name] for row in self.rows]
+        except KeyError:
+            raise KeyError(
+                f"metric {name!r} missing from at least one instance row; "
+                f"available: {sorted(self.metric_names)}"
+            ) from None
+
+    @property
+    def metric_names(self) -> set[str]:
+        """Names present in every row."""
+        if not self.rows:
+            return set()
+        names = set(self.rows[0])
+        for row in self.rows[1:]:
+            names &= set(row)
+        return names
+
+    def summary(self) -> dict[str, SummaryStats]:
+        """Summarize every common metric across instances."""
+        return {name: summarize(self.column(name)) for name in sorted(self.metric_names)}
+
+    def mean(self, name: str) -> float:
+        """Mean of one metric across instances."""
+        return summarize(self.column(name)).mean
+
+    @property
+    def n_instances(self) -> int:
+        return len(self.rows)
+
+
+def run_instances(instances: int, metric_fn: MetricFn) -> InstanceTable:
+    """Run ``metric_fn`` for instance indexes ``0..instances-1``.
+
+    The metric function is responsible for deriving its own per-instance
+    seed (typically via :meth:`ExperimentConfig.dataset_for`).
+    """
+    if instances < 1:
+        raise ValueError("instances must be >= 1")
+    rows = []
+    for k in range(instances):
+        row = dict(metric_fn(k))
+        if not row:
+            raise ValueError(f"metric function returned no metrics for instance {k}")
+        rows.append(row)
+    return InstanceTable(rows=tuple(rows))

@@ -1,0 +1,102 @@
+"""Parameter sweeps and the plot-ready :class:`ExperimentResult`.
+
+Every figure in the paper is a sweep: precision vs. r, social cost vs.
+number of tasks, utility vs. declared bid.  :func:`sweep_series` runs a
+point function over an x-grid and assembles named y-series;
+:class:`ExperimentResult` is the common currency between the experiment
+runners, the ASCII reporting layer, and the CSV export.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping, Sequence
+from dataclasses import dataclass, field
+
+__all__ = ["ExperimentResult", "sweep_series"]
+
+#: Point function: x value -> {series name: y value}.
+PointFn = Callable[[float], Mapping[str, float]]
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """One reproduced table/figure: named series over a shared x-grid.
+
+    ``meta`` carries free-form provenance (instances, seeds, paper
+    expectations) that the reporting layer prints alongside the data.
+    """
+
+    experiment_id: str
+    title: str
+    x_label: str
+    y_label: str
+    x_values: tuple[float, ...]
+    series: dict[str, tuple[float, ...]]
+    meta: dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for name, ys in self.series.items():
+            if len(ys) != len(self.x_values):
+                raise ValueError(
+                    f"series {name!r} has {len(ys)} points for "
+                    f"{len(self.x_values)} x values"
+                )
+
+    @property
+    def series_names(self) -> list[str]:
+        return list(self.series)
+
+    def y(self, name: str) -> tuple[float, ...]:
+        """One series by name."""
+        return self.series[name]
+
+    def rows(self) -> list[tuple[float, ...]]:
+        """Row-major view: one row per x value, columns in series order."""
+        names = self.series_names
+        return [
+            (x, *(self.series[name][k] for name in names))
+            for k, x in enumerate(self.x_values)
+        ]
+
+
+def sweep_series(
+    experiment_id: str,
+    title: str,
+    x_label: str,
+    y_label: str,
+    x_values: Sequence[float],
+    point_fn: PointFn,
+    *,
+    meta: Mapping[str, object] | None = None,
+) -> ExperimentResult:
+    """Evaluate ``point_fn`` over ``x_values`` and bundle the series.
+
+    Every point must report the same series names; missing names raise
+    immediately with the offending x value for easy debugging.
+    """
+    x_values = tuple(x_values)
+    if not x_values:
+        raise ValueError("x_values must be non-empty")
+    collected: dict[str, list[float]] = {}
+    names: list[str] | None = None
+    for x in x_values:
+        point = dict(point_fn(x))
+        if names is None:
+            names = sorted(point)
+            collected = {name: [] for name in names}
+        if sorted(point) != names:
+            raise ValueError(
+                f"point at x={x} reported series {sorted(point)}, "
+                f"expected {names}"
+            )
+        for name in names:
+            collected[name].append(float(point[name]))
+    return ExperimentResult(
+        experiment_id=experiment_id,
+        title=title,
+        x_label=x_label,
+        y_label=y_label,
+        x_values=x_values,
+        series={name: tuple(ys) for name, ys in collected.items()},
+        meta=dict(meta or {}),
+    )

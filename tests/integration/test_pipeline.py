@@ -1,0 +1,202 @@
+"""Integration tests: the full IMC2 pipeline across modules."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    DATE,
+    IMC2,
+    DateConfig,
+    EnumerateDependence,
+    GreedyAccuracy,
+    GreedyBid,
+    MajorityVote,
+    NoCopier,
+    ReverseAuction,
+    SOACInstance,
+    solve_optimal,
+)
+from repro.core import DatasetIndex
+from repro.datasets import generate_qatar_living_like
+from repro.simulation.metrics import copier_detection_report
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    """One moderately sized campaign shared across this module."""
+    dataset = generate_qatar_living_like(
+        seed=17, n_tasks=60, n_workers=36, n_copiers=9, target_claims=1100
+    )
+    outcome = IMC2(requirement_cap=0.8).run(dataset)
+    return dataset, outcome
+
+
+class TestTwoStageFlow:
+    def test_stage1_feeds_stage2(self, campaign):
+        dataset, outcome = campaign
+        # The auction's accuracy matrix is exactly stage 1's estimate,
+        # restricted to the bid task sets.
+        result = outcome.truth
+        instance = outcome.instance
+        for i, worker_id in enumerate(instance.worker_ids):
+            row = result.worker_ids.index(worker_id)
+            for j, task_id in enumerate(instance.task_ids):
+                col = result.task_ids.index(task_id)
+                if (worker_id, task_id) in dataset.claims:
+                    assert instance.accuracy[i, j] == pytest.approx(
+                        result.accuracy_matrix[row, col]
+                    )
+
+    def test_winners_cover_all_requirements(self, campaign):
+        _, outcome = campaign
+        coverage = outcome.instance.coverage(outcome.auction.winner_indexes)
+        assert np.all(coverage >= outcome.instance.requirements - 1e-9)
+
+    def test_accounting_identity(self, campaign):
+        _, outcome = campaign
+        total_utility = sum(outcome.worker_utilities.values())
+        assert total_utility + outcome.platform_utility == pytest.approx(
+            outcome.social_welfare
+        )
+
+    def test_payments_at_least_costs(self, campaign):
+        _, outcome = campaign
+        cost_by_id = dict(
+            zip(outcome.instance.worker_ids, outcome.instance.costs)
+        )
+        for winner in outcome.winners:
+            assert outcome.auction.payments[winner] >= cost_by_id[winner] - 1e-9
+
+
+class TestCopierDetectionEndToEnd:
+    def test_date_flags_true_copier_pairs(self, campaign):
+        dataset, outcome = campaign
+        report = copier_detection_report(outcome.truth, dataset)
+        assert report.copier_pair_mean > 0.3
+        assert report.copier_pair_mean > report.independent_pair_mean + 0.2
+
+    def test_copiers_do_not_fool_date_but_fool_mv(self):
+        """Aggregate check over seeds: DATE's edge over MV grows from
+        copier pressure (the paper's core claim)."""
+        date_wins = 0
+        for seed in range(4):
+            dataset = generate_qatar_living_like(
+                seed=seed, n_tasks=50, n_workers=30, n_copiers=8, target_claims=900
+            )
+            index = DatasetIndex(dataset)
+            mv = MajorityVote().run(dataset, index=index).precision()
+            date = DATE().run(dataset, index=index).precision()
+            if date >= mv:
+                date_wins += 1
+        assert date_wins >= 3
+
+
+class TestAlgorithmFamilyOnSharedIndex:
+    def test_all_truth_algorithms_compatible(self, campaign):
+        dataset, _ = campaign
+        index = DatasetIndex(dataset)
+        results = {}
+        for algo in (MajorityVote(), NoCopier(), DATE(), EnumerateDependence()):
+            results[algo.method_name] = algo.run(dataset, index=index)
+        precisions = {k: r.precision() for k, r in results.items()}
+        # Copier-aware methods must not fall behind MV.
+        assert precisions["DATE"] >= precisions["MV"] - 0.02
+        assert precisions["ED"] >= precisions["MV"] - 0.02
+
+    def test_all_auctions_on_same_instance(self, campaign):
+        _, outcome = campaign
+        instance = outcome.instance
+        ra = ReverseAuction().run(instance)
+        ga = GreedyAccuracy().run(instance)
+        gb = GreedyBid().run(instance)
+        for auction_outcome in (ra, ga, gb):
+            assert instance.is_covering(auction_outcome.winner_indexes)
+        assert ra.social_cost <= ga.social_cost + 1e-9
+        assert ra.social_cost <= gb.social_cost + 1e-9
+
+
+class TestGreedyVsOptimal:
+    def test_ratio_within_bound_on_small_instances(self):
+        from repro.auction.properties import approximation_bound
+
+        for seed in range(3):
+            dataset = generate_qatar_living_like(
+                seed=seed, n_tasks=12, n_workers=14, n_copiers=3, target_claims=110
+            )
+            result = DATE().run(dataset)
+            instance = SOACInstance.from_truth_discovery(
+                dataset, result
+            ).with_capped_requirements(0.6)
+            greedy = ReverseAuction().run(instance)
+            optimal = solve_optimal(instance)
+            assert greedy.social_cost >= optimal.social_cost - 1e-9
+            if optimal.social_cost > 0:
+                ratio = greedy.social_cost / optimal.social_cost
+                assert ratio <= approximation_bound(instance)
+                assert ratio < 3.0  # far below the worst case in practice
+
+
+class TestSimilarityExtensionEndToEnd:
+    def test_multiple_presentations_merged(self):
+        """Sec. IV-A scenario: the truth appears under two spellings;
+        similarity-aware support must still find it."""
+        from repro import Dataset, Task, WorkerProfile
+        from repro.similarity import string_similarity
+
+        tasks = (
+            Task(task_id="affil", truth="UWisc"),
+            # Background tasks all workers answer identically, keeping
+            # their estimated accuracies comparable so the contested
+            # task is decided by the support counts alone.
+            *(
+                Task(task_id=f"bg{k}", truth="agree")
+                for k in range(4)
+            ),
+        )
+        workers = tuple(WorkerProfile(worker_id=f"w{i}") for i in range(7))
+        claims = {
+            # Four spell-variants of the truth, split 2+2...
+            ("w0", "affil"): "UWisc",
+            ("w1", "affil"): "UWisc",
+            ("w2", "affil"): "UWisc.",
+            ("w3", "affil"): "UWisc.",
+            # ...versus three agreeing on a distinct wrong answer.
+            ("w4", "affil"): "MSR",
+            ("w5", "affil"): "MSR",
+            ("w6", "affil"): "MSR",
+        }
+        for k in range(4):
+            for i in range(7):
+                claims[(f"w{i}", f"bg{k}")] = "agree"
+        dataset = Dataset(tasks=tasks, workers=workers, claims=claims)
+        plain = DATE(DateConfig(max_iterations=5)).run(dataset)
+        merged = DATE(
+            DateConfig(
+                max_iterations=5,
+                similarity=string_similarity("levenshtein"),
+                similarity_weight=1.0,
+            )
+        ).run(dataset)
+        # Without merging, MSR's three exact votes win; with merging the
+        # UWisc variants support each other.
+        assert plain.truths["affil"] == "MSR"
+        assert merged.truths["affil"] in ("UWisc", "UWisc.")
+
+
+class TestDeterminismEndToEnd:
+    def test_full_pipeline_reproducible(self):
+        a = IMC2(requirement_cap=0.8).run(
+            generate_qatar_living_like(
+                seed=23, n_tasks=30, n_workers=18, n_copiers=4, target_claims=400
+            )
+        )
+        b = IMC2(requirement_cap=0.8).run(
+            generate_qatar_living_like(
+                seed=23, n_tasks=30, n_workers=18, n_copiers=4, target_claims=400
+            )
+        )
+        assert a.truth.truths == b.truth.truths
+        assert a.auction.winner_ids == b.auction.winner_ids
+        assert a.auction.payments == b.auction.payments

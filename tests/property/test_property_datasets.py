@@ -1,0 +1,93 @@
+"""Property-based tests for the dataset generators (hypothesis)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import WorldConfig
+from repro.datasets import generate_world, inject_copiers
+
+
+@st.composite
+def world_params(draw):
+    n_tasks = draw(st.integers(min_value=2, max_value=20))
+    n_workers = draw(st.integers(min_value=2, max_value=12))
+    target = draw(
+        st.integers(min_value=n_tasks, max_value=n_tasks * n_workers)
+    )
+    return WorldConfig(
+        n_tasks=n_tasks,
+        n_workers=n_workers,
+        target_claims=target,
+        num_false=draw(st.integers(min_value=1, max_value=3)),
+        participation_decay=draw(st.floats(min_value=0.0, max_value=0.9)),
+    )
+
+
+class TestGenerateWorldProperties:
+    @given(config=world_params(), seed=st.integers(min_value=0, max_value=999))
+    @settings(max_examples=30, deadline=None)
+    def test_structural_invariants(self, config, seed):
+        world = generate_world(config, seed)
+        assert world.n_tasks == config.n_tasks
+        assert world.n_workers == config.n_workers
+        for task in world.tasks:
+            assert task.truth in task.domain
+            assert len(task.domain) == config.num_false + 1
+        for (worker_id, task_id), value in world.claims.items():
+            assert value in world.task_by_id[task_id].domain
+
+    @given(config=world_params(), seed=st.integers(min_value=0, max_value=999))
+    @settings(max_examples=20, deadline=None)
+    def test_determinism(self, config, seed):
+        assert generate_world(config, seed).claims == generate_world(
+            config, seed
+        ).claims
+
+
+class TestInjectCopiersProperties:
+    @given(
+        config=world_params(),
+        seed=st.integers(min_value=0, max_value=999),
+        copy_prob=st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_copier_invariants(self, config, seed, copy_prob):
+        world = generate_world(config, seed)
+        n_copiers = min(3, config.n_workers - 1)
+        injected = inject_copiers(
+            world, n_copiers, copy_prob=copy_prob, seed=seed + 1
+        )
+        copiers = {w.worker_id for w in injected.workers if w.is_copier}
+        assert len(copiers) == n_copiers
+        # No-loop dependence: sources are never copiers.
+        for worker in injected.workers:
+            for source in worker.sources:
+                assert source not in copiers
+        # Claims stay within domains; non-copier claims untouched.
+        for (worker_id, task_id), value in injected.claims.items():
+            assert value in injected.task_by_id[task_id].domain
+            if worker_id not in copiers:
+                assert world.claims[(worker_id, task_id)] == value
+
+    @given(config=world_params(), seed=st.integers(min_value=0, max_value=999))
+    @settings(max_examples=20, deadline=None)
+    def test_full_copy_means_subset_of_source_claims(self, config, seed):
+        world = generate_world(config, seed)
+        injected = inject_copiers(
+            world,
+            1,
+            copy_prob=1.0,
+            follow_prob=1.0,
+            extra_prob=0.0,
+            seed=seed + 1,
+        )
+        for worker in injected.workers:
+            if not worker.is_copier:
+                continue
+            source_claims = injected.claims_by_worker[worker.sources[0]]
+            for task_id, value in injected.claims_by_worker[
+                worker.worker_id
+            ].items():
+                assert source_claims.get(task_id) == value

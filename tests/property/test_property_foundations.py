@@ -1,0 +1,153 @@
+"""Property-based tests on types, IO, similarity, and stats (hypothesis)."""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Dataset, Task, WorkerProfile
+from repro.datasets import load_dataset, save_dataset
+from repro.similarity import (
+    levenshtein_distance,
+    normalized_levenshtein,
+    string_similarity,
+)
+from repro.simulation.stats import summarize
+
+identifiers = st.text(
+    alphabet=st.characters(whitelist_categories=("Lu", "Ll", "Nd")),
+    min_size=1,
+    max_size=8,
+)
+
+short_text = st.text(min_size=0, max_size=12)
+
+
+@st.composite
+def datasets(draw):
+    m = draw(st.integers(min_value=1, max_value=4))
+    n = draw(st.integers(min_value=1, max_value=4))
+    values = draw(
+        st.lists(identifiers, min_size=2, max_size=4, unique=True)
+    )
+    tasks = tuple(
+        Task(task_id=f"t{j}", domain=tuple(values), truth=values[0])
+        for j in range(m)
+    )
+    workers = tuple(
+        WorkerProfile(
+            worker_id=f"w{i}",
+            cost=draw(st.floats(min_value=0.0, max_value=50.0)),
+            reliability=draw(st.floats(min_value=0.0, max_value=1.0)),
+        )
+        for i in range(n)
+    )
+    claims = {}
+    for i in range(n):
+        for j in range(m):
+            if draw(st.booleans()):
+                claims[(f"w{i}", f"t{j}")] = draw(st.sampled_from(values))
+    return Dataset(tasks=tasks, workers=workers, claims=claims)
+
+
+class TestDatasetProperties:
+    @given(dataset=datasets())
+    @settings(max_examples=40, deadline=None)
+    def test_views_are_consistent(self, dataset):
+        by_task_total = sum(len(v) for v in dataset.claims_by_task.values())
+        by_worker_total = sum(len(v) for v in dataset.claims_by_worker.values())
+        assert by_task_total == by_worker_total == dataset.n_claims
+
+    @given(dataset=datasets())
+    @settings(max_examples=40, deadline=None)
+    def test_value_groups_partition_claimants(self, dataset):
+        for task in dataset.tasks:
+            groups = dataset.value_groups(task.task_id)
+            members = [w for group in groups.values() for w in group]
+            assert sorted(members) == sorted(dataset.claims_by_task[task.task_id])
+
+    @given(dataset=datasets())
+    @settings(max_examples=30, deadline=None)
+    def test_subset_is_idempotent_on_full_sets(self, dataset):
+        full = dataset.subset()
+        assert full.claims == dataset.claims
+        assert full.tasks == dataset.tasks
+
+    @given(dataset=datasets())
+    @settings(max_examples=20, deadline=None)
+    def test_csv_round_trip(self, dataset, tmp_path_factory):
+        directory = tmp_path_factory.mktemp("ds")
+        save_dataset(dataset, directory)
+        loaded = load_dataset(directory)
+        assert loaded.claims == dataset.claims
+        assert loaded.tasks == dataset.tasks
+        assert loaded.workers == dataset.workers
+
+
+class TestLevenshteinProperties:
+    @given(a=short_text, b=short_text)
+    @settings(max_examples=100, deadline=None)
+    def test_symmetry(self, a, b):
+        assert levenshtein_distance(a, b) == levenshtein_distance(b, a)
+
+    @given(a=short_text, b=short_text)
+    @settings(max_examples=100, deadline=None)
+    def test_identity_of_indiscernibles(self, a, b):
+        distance = levenshtein_distance(a, b)
+        assert (distance == 0) == (a == b)
+
+    @given(a=short_text, b=short_text, c=short_text)
+    @settings(max_examples=60, deadline=None)
+    def test_triangle_inequality(self, a, b, c):
+        assert levenshtein_distance(a, c) <= levenshtein_distance(
+            a, b
+        ) + levenshtein_distance(b, c)
+
+    @given(a=short_text, b=short_text)
+    @settings(max_examples=100, deadline=None)
+    def test_bounded_by_longer_string(self, a, b):
+        assert levenshtein_distance(a, b) <= max(len(a), len(b))
+
+    @given(a=short_text, b=short_text)
+    @settings(max_examples=100, deadline=None)
+    def test_normalized_in_unit_interval(self, a, b):
+        similarity = normalized_levenshtein(a, b)
+        assert 0.0 <= similarity <= 1.0
+
+
+class TestStringSimilarityProperties:
+    @given(
+        a=short_text.filter(bool),
+        b=short_text.filter(bool),
+        measure=st.sampled_from(
+            ["cosine", "euclidean", "pearson", "asymmetric", "levenshtein"]
+        ),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_range_and_identity(self, a, b, measure):
+        sim = string_similarity(measure)
+        assert sim(a, a) == 1.0
+        assert 0.0 <= sim(a, b) <= 1.0
+
+
+class TestStatsProperties:
+    @given(
+        values=st.lists(
+            st.floats(min_value=-1e6, max_value=1e6),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_summary_invariants(self, values):
+        stats = summarize(values)
+        # Allow a few ulps of slack: the mean of identical floats can
+        # differ from them in the last bit.
+        slack = 1e-9 * max(abs(stats.minimum), abs(stats.maximum), 1e-300)
+        assert stats.minimum - slack <= stats.mean <= stats.maximum + slack
+        assert stats.ci95_low - slack <= stats.mean <= stats.ci95_high + slack
+        assert stats.std >= 0.0
+        assert stats.n == len(values)
+        assert math.isfinite(stats.mean)

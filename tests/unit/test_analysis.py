@@ -1,0 +1,153 @@
+"""Unit tests for the analysis extensions (repro.analysis)."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro import DATE, DateConfig
+from repro.analysis import (
+    copier_clusters,
+    dependence_graph,
+    detection_scores,
+    likely_sources,
+    run_date_ablation,
+)
+from repro.errors import ConfigurationError
+from repro.simulation.config import ExperimentConfig
+
+
+@pytest.fixture(scope="module")
+def tiny_result():
+    """DATE result on the copier-laden tiny dataset (module-scoped)."""
+    from repro import Dataset, Task, WorkerProfile
+
+    tasks = tuple(
+        Task(task_id=f"t{j}", domain=("A", "B", "C"), truth="A") for j in range(4)
+    )
+    workers = (
+        WorkerProfile(worker_id="w1", reliability=0.9),
+        WorkerProfile(worker_id="w2", reliability=0.9),
+        WorkerProfile(worker_id="w3", reliability=0.5),
+        WorkerProfile(
+            worker_id="w4",
+            reliability=0.5,
+            is_copier=True,
+            sources=("w3",),
+            copy_prob=1.0,
+        ),
+        WorkerProfile(worker_id="w5", reliability=0.8),
+    )
+    claims = {
+        ("w1", "t0"): "A", ("w1", "t1"): "A", ("w1", "t2"): "A", ("w1", "t3"): "A",
+        ("w2", "t0"): "A", ("w2", "t1"): "A", ("w2", "t2"): "A", ("w2", "t3"): "A",
+        ("w3", "t0"): "A", ("w3", "t1"): "B", ("w3", "t2"): "B", ("w3", "t3"): "B",
+        ("w4", "t0"): "A", ("w4", "t1"): "B", ("w4", "t2"): "B", ("w4", "t3"): "B",
+        ("w5", "t0"): "A", ("w5", "t1"): "A",
+    }
+    dataset = Dataset(tasks=tasks, workers=workers, claims=claims)
+    result = DATE(DateConfig(copy_prob_r=0.8, prior_alpha=0.3)).run(dataset)
+    return dataset, result
+
+
+class TestDependenceGraph:
+    def test_nodes_cover_all_workers(self, tiny_result):
+        _, result = tiny_result
+        graph = dependence_graph(result, threshold=0.3)
+        assert set(graph.nodes) == set(result.worker_ids)
+
+    def test_edges_carry_probabilities(self, tiny_result):
+        _, result = tiny_result
+        graph = dependence_graph(result, threshold=0.3)
+        for _, _, data in graph.edges(data=True):
+            assert 0.3 <= data["probability"] <= 1.0
+
+    def test_copier_pair_linked(self, tiny_result):
+        _, result = tiny_result
+        graph = dependence_graph(result, threshold=0.3)
+        assert graph.has_edge("w3", "w4") or graph.has_edge("w4", "w3")
+
+    def test_threshold_one_keeps_little(self, tiny_result):
+        _, result = tiny_result
+        graph = dependence_graph(result, threshold=1.0)
+        assert graph.number_of_edges() == 0
+
+    def test_threshold_validated(self, tiny_result):
+        _, result = tiny_result
+        with pytest.raises(ConfigurationError):
+            dependence_graph(result, threshold=0.0)
+
+    def test_is_networkx_digraph(self, tiny_result):
+        _, result = tiny_result
+        assert isinstance(dependence_graph(result), nx.DiGraph)
+
+
+class TestCopierClusters:
+    def test_copier_cluster_found(self, tiny_result):
+        _, result = tiny_result
+        clusters = copier_clusters(result, threshold=0.3)
+        assert any({"w3", "w4"} <= cluster for cluster in clusters)
+
+    def test_min_size_filter(self, tiny_result):
+        _, result = tiny_result
+        clusters = copier_clusters(result, threshold=0.3, min_size=10)
+        assert clusters == []
+
+    def test_sorted_largest_first(self, tiny_result):
+        _, result = tiny_result
+        clusters = copier_clusters(result, threshold=0.2)
+        sizes = [len(c) for c in clusters]
+        assert sizes == sorted(sizes, reverse=True)
+
+
+class TestLikelySources:
+    def test_ranked_descending(self, tiny_result):
+        _, result = tiny_result
+        ranked = likely_sources(result, threshold=0.2)
+        scores = [s for _, s in ranked]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_top_limits_output(self, tiny_result):
+        _, result = tiny_result
+        assert len(likely_sources(result, threshold=0.2, top=1)) <= 1
+
+
+class TestDetectionScores:
+    def test_scores_on_tiny(self, tiny_result):
+        dataset, result = tiny_result
+        scores = detection_scores(result, dataset, threshold=0.3)
+        assert scores.true_copiers == 1
+        assert scores.detected_copiers == 1
+        assert scores.recall == 1.0
+        assert 0.0 <= scores.precision <= 1.0
+        assert scores.pair_recall == 1.0
+
+    def test_qlf_detection_reasonable(self, qlf_small):
+        result = DATE().run(qlf_small)
+        scores = detection_scores(result, qlf_small, threshold=0.5)
+        assert scores.recall >= 0.5
+        assert scores.pair_recall >= 0.3
+
+
+class TestAblation:
+    def test_runs_all_variants(self):
+        config = ExperimentConfig(
+            n_tasks=30, n_workers=18, n_copiers=4, target_claims=360, instances=2
+        )
+        rows = run_date_ablation(config)
+        names = [row.variant for row in rows]
+        assert "default" in names
+        assert "paper-literal" in names
+        for row in rows:
+            assert 0.0 <= row.precision.mean <= 1.0
+            assert row.precision.n == 2
+
+    def test_custom_variants(self):
+        config = ExperimentConfig(
+            n_tasks=20, n_workers=12, n_copiers=2, target_claims=160, instances=1
+        )
+        rows = run_date_ablation(
+            config, variants={"only": {"copy_prob_r": 0.6}}
+        )
+        assert len(rows) == 1
+        assert rows[0].overrides == {"copy_prob_r": 0.6}

@@ -1,0 +1,127 @@
+"""Unit tests for the GA and GB auction baselines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import GreedyAccuracy, GreedyBid, InfeasibleCoverageError, ReverseAuction
+from repro.auction.soac import SOACInstance
+
+
+def instance_from(accuracy, bids, requirements) -> SOACInstance:
+    accuracy = np.asarray(accuracy, dtype=float)
+    n, m = accuracy.shape
+    bids = np.asarray(bids, dtype=float)
+    return SOACInstance(
+        worker_ids=tuple(f"w{i}" for i in range(n)),
+        task_ids=tuple(f"t{j}" for j in range(m)),
+        requirements=np.asarray(requirements, dtype=float),
+        accuracy=accuracy,
+        bids=bids,
+        costs=bids.copy(),
+        task_values=np.full(m, 5.0),
+    )
+
+
+class TestGreedyAccuracy:
+    def test_picks_highest_coverage_first(self):
+        instance = instance_from(
+            accuracy=[[0.9, 0.0], [0.5, 0.5], [0.0, 0.9]],
+            bids=[1.0, 1.0, 1.0],
+            requirements=[0.9, 0.9],
+        )
+        outcome = GreedyAccuracy().run(instance)
+        assert outcome.winner_ids[0] == "w1"  # covers 1.0 vs 0.9
+
+    def test_ignores_price(self):
+        instance = instance_from(
+            accuracy=[[1.0], [0.9]],
+            bids=[100.0, 0.1],
+            requirements=[1.0],
+        )
+        outcome = GreedyAccuracy().run(instance)
+        assert outcome.winner_ids[0] == "w0"
+
+    def test_covers(self, soac_medium):
+        outcome = GreedyAccuracy().run(soac_medium)
+        assert soac_medium.is_covering(outcome.winner_indexes)
+
+    def test_pays_bids(self, soac_medium):
+        outcome = GreedyAccuracy().run(soac_medium)
+        bid_by_id = dict(zip(soac_medium.worker_ids, soac_medium.bids))
+        for worker_id, payment in outcome.payments.items():
+            assert payment == pytest.approx(bid_by_id[worker_id])
+
+    def test_infeasible_raises(self):
+        instance = instance_from(
+            accuracy=[[0.1]], bids=[1.0], requirements=[1.0]
+        )
+        with pytest.raises(InfeasibleCoverageError):
+            GreedyAccuracy().run(instance)
+
+    def test_method_name(self, soac_medium):
+        assert GreedyAccuracy().run(soac_medium).method == "GA"
+
+
+class TestGreedyBid:
+    def test_picks_cheapest_useful_first(self):
+        instance = instance_from(
+            accuracy=[[0.9, 0.0], [0.5, 0.5], [0.0, 0.9]],
+            bids=[0.5, 3.0, 1.0],
+            requirements=[0.9, 0.9],
+        )
+        outcome = GreedyBid().run(instance)
+        assert outcome.winner_ids[0] == "w0"
+
+    def test_skips_useless_cheap_workers(self):
+        instance = instance_from(
+            # w0 is cheapest but has zero accuracy everywhere.
+            accuracy=[[0.0], [0.8], [0.9]],
+            bids=[0.1, 1.0, 2.0],
+            requirements=[0.8],
+        )
+        outcome = GreedyBid().run(instance)
+        assert "w0" not in outcome.winner_ids
+
+    def test_covers(self, soac_medium):
+        outcome = GreedyBid().run(soac_medium)
+        assert soac_medium.is_covering(outcome.winner_indexes)
+
+    def test_vickrey_style_payment_not_below_bid(self, soac_medium):
+        outcome = GreedyBid().run(soac_medium)
+        bid_by_id = dict(zip(soac_medium.worker_ids, soac_medium.bids))
+        for worker_id, payment in outcome.payments.items():
+            assert payment >= bid_by_id[worker_id] - 1e-9
+
+    def test_method_name(self, soac_medium):
+        assert GreedyBid().run(soac_medium).method == "GB"
+
+
+class TestSocialCostOrdering:
+    def test_ra_never_worse_than_both_baselines_on_seeds(self):
+        """The paper's Fig. 6 headline: RA achieves the lowest social
+        cost.  On any single instance RA might tie, so compare averages
+        over seeded instances."""
+        rng = np.random.default_rng(0)
+        ra_total, ga_total, gb_total = 0.0, 0.0, 0.0
+        for _ in range(5):
+            n, m = 14, 5
+            accuracy = np.where(
+                rng.random((n, m)) < 0.7, rng.uniform(0.2, 0.9, (n, m)), 0.0
+            )
+            bids = rng.uniform(1.0, 9.0, n)
+            instance = SOACInstance(
+                worker_ids=tuple(f"w{i}" for i in range(n)),
+                task_ids=tuple(f"t{j}" for j in range(m)),
+                requirements=np.full(m, 1.2),
+                accuracy=accuracy,
+                bids=bids,
+                costs=bids.copy(),
+                task_values=np.full(m, 6.0),
+            )
+            ra_total += ReverseAuction().run(instance).social_cost
+            ga_total += GreedyAccuracy().run(instance).social_cost
+            gb_total += GreedyBid().run(instance).social_cost
+        assert ra_total <= ga_total
+        assert ra_total <= gb_total

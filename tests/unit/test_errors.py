@@ -1,0 +1,64 @@
+"""Unit tests for the exception hierarchy (repro.errors)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    ConfigurationError,
+    ConvergenceWarning,
+    DataFormatError,
+    InfeasibleCoverageError,
+    ReproError,
+    UnknownExperimentError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc_type",
+        [
+            ConfigurationError,
+            DataFormatError,
+            InfeasibleCoverageError,
+            UnknownExperimentError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc_type):
+        assert issubclass(exc_type, ReproError)
+
+    def test_configuration_error_is_value_error(self):
+        # Callers using stdlib idioms still catch it.
+        assert issubclass(ConfigurationError, ValueError)
+
+    def test_data_format_error_is_value_error(self):
+        assert issubclass(DataFormatError, ValueError)
+
+    def test_infeasible_is_runtime_error(self):
+        assert issubclass(InfeasibleCoverageError, RuntimeError)
+
+    def test_unknown_experiment_is_key_error(self):
+        assert issubclass(UnknownExperimentError, KeyError)
+
+    def test_convergence_warning_is_warning(self):
+        assert issubclass(ConvergenceWarning, UserWarning)
+
+
+class TestInfeasibleCoverageError:
+    def test_carries_task_ids(self):
+        error = InfeasibleCoverageError(("t3", "t7"))
+        assert error.task_ids == ("t3", "t7")
+        assert "t3" in str(error)
+
+    def test_long_task_list_truncated_in_message(self):
+        error = InfeasibleCoverageError(tuple(f"t{i}" for i in range(20)))
+        assert "..." in str(error)
+        assert len(error.task_ids) == 20
+
+    def test_custom_message(self):
+        error = InfeasibleCoverageError(("t1",), message="boom")
+        assert str(error) == "boom"
+
+    def test_catchable_as_repro_error(self):
+        with pytest.raises(ReproError):
+            raise InfeasibleCoverageError(("t1",))

@@ -1,0 +1,106 @@
+"""Unit tests for DatasetIndex (repro.core.indexing)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Dataset, Task, WorkerProfile
+from repro.core import DatasetIndex
+
+
+class TestIndexStructure:
+    def test_positions_follow_dataset_order(self, tiny_dataset):
+        index = DatasetIndex(tiny_dataset)
+        assert index.task_ids == ["t0", "t1", "t2", "t3"]
+        assert index.worker_ids == ["w1", "w2", "w3", "w4", "w5"]
+        assert index.task_pos["t2"] == 2
+        assert index.worker_pos["w4"] == 3
+
+    def test_claims_round_trip(self, tiny_dataset):
+        index = DatasetIndex(tiny_dataset)
+        for (worker_id, task_id), value in tiny_dataset.claims.items():
+            i = index.worker_pos[worker_id]
+            j = index.task_pos[task_id]
+            assert index.claims_by_task[j][i] == value
+            assert index.claims_by_worker[i][j] == value
+
+    def test_value_groups_sorted_and_complete(self, tiny_dataset):
+        index = DatasetIndex(tiny_dataset)
+        groups = index.value_groups[1]  # task t1
+        assert list(groups) == sorted(groups)
+        assert groups["A"] == (0, 1, 4)
+        assert groups["B"] == (2, 3)
+
+    def test_num_false_from_closed_domain(self, tiny_dataset):
+        index = DatasetIndex(tiny_dataset)
+        assert list(index.num_false) == [2, 2, 2, 2]
+
+    def test_num_false_open_domain_from_observation(self):
+        tasks = (Task(task_id="t0"), Task(task_id="t1"))
+        workers = tuple(WorkerProfile(worker_id=f"w{i}") for i in range(3))
+        claims = {
+            ("w0", "t0"): "x",
+            ("w1", "t0"): "y",
+            ("w2", "t0"): "z",
+            ("w0", "t1"): "only",
+        }
+        index = DatasetIndex(Dataset(tasks=tasks, workers=workers, claims=claims))
+        assert index.num_false[0] == 2  # three observed values
+        assert index.num_false[1] == 1  # floor of 1
+
+    def test_pairs_only_for_coanswering_workers(self, tiny_dataset):
+        index = DatasetIndex(tiny_dataset)
+        # w5 answered only t0, t1; it co-answers with everyone there.
+        assert (0, 4) in index.pairs
+        # All pairs among w1..w4 share all four tasks.
+        assert (0, 1) in index.pairs
+        assert all(a < b for a, b in index.pairs)
+
+    def test_shared_tasks_contents(self, tiny_dataset):
+        index = DatasetIndex(tiny_dataset)
+        assert index.shared_tasks[(0, 1)] == (0, 1, 2, 3)
+        assert index.shared_tasks[(0, 4)] == (0, 1)
+
+    def test_no_pairs_without_overlap(self):
+        tasks = (Task(task_id="t0"), Task(task_id="t1"))
+        workers = (WorkerProfile(worker_id="a"), WorkerProfile(worker_id="b"))
+        claims = {("a", "t0"): "x", ("b", "t1"): "y"}
+        index = DatasetIndex(Dataset(tasks=tasks, workers=workers, claims=claims))
+        assert index.pairs == []
+        assert index.shared_tasks == {}
+
+
+class TestInitialAccuracy:
+    def test_epsilon_only_on_answered_cells(self, tiny_dataset):
+        index = DatasetIndex(tiny_dataset)
+        matrix = index.initial_accuracy_matrix(0.5)
+        assert matrix.shape == (5, 4)
+        assert matrix[0, 0] == 0.5
+        assert matrix[4, 2] == 0.0  # w5 did not answer t2
+        answered = sum(len(c) for c in index.claims_by_worker)
+        assert np.count_nonzero(matrix) == answered
+
+
+class TestMajorityVote:
+    def test_majority_wins(self, tiny_dataset):
+        index = DatasetIndex(tiny_dataset)
+        votes = index.majority_vote()
+        # t1: A has 3 votes (w1, w2, w5) vs B with 2.
+        assert votes[1] == "A"
+        # t2: A has 2 votes (w1, w2) vs B with 2 -> lexicographic tie.
+        assert votes[2] == "A"
+
+    def test_tie_breaks_lexicographically(self):
+        tasks = (Task(task_id="t0"),)
+        workers = (WorkerProfile(worker_id="a"), WorkerProfile(worker_id="b"))
+        claims = {("a", "t0"): "zebra", ("b", "t0"): "apple"}
+        index = DatasetIndex(Dataset(tasks=tasks, workers=workers, claims=claims))
+        assert index.majority_vote() == ["apple"]
+
+    def test_unanswered_task_yields_none(self):
+        tasks = (Task(task_id="t0"), Task(task_id="t1"))
+        workers = (WorkerProfile(worker_id="a"),)
+        claims = {("a", "t0"): "x"}
+        index = DatasetIndex(Dataset(tasks=tasks, workers=workers, claims=claims))
+        assert index.majority_vote() == ["x", None]

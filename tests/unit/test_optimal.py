@@ -1,0 +1,87 @@
+"""Unit tests for the exact ILP solver (repro.auction.optimal)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import InfeasibleCoverageError, ReverseAuction, SOACInstance, solve_optimal
+
+
+def instance_from(accuracy, bids, requirements, costs=None) -> SOACInstance:
+    accuracy = np.asarray(accuracy, dtype=float)
+    n, m = accuracy.shape
+    bids = np.asarray(bids, dtype=float)
+    return SOACInstance(
+        worker_ids=tuple(f"w{i}" for i in range(n)),
+        task_ids=tuple(f"t{j}" for j in range(m)),
+        requirements=np.asarray(requirements, dtype=float),
+        accuracy=accuracy,
+        bids=bids,
+        costs=np.asarray(costs, dtype=float) if costs is not None else bids.copy(),
+        task_values=np.full(m, 5.0),
+    )
+
+
+class TestSolveOptimal:
+    def test_hand_checkable_optimum(self, soac_small):
+        solution = solve_optimal(soac_small)
+        assert set(solution.winner_ids) == {"w3"}
+        assert solution.objective == pytest.approx(2.0)
+
+    def test_picks_specialists_when_generalist_overpriced(self):
+        instance = instance_from(
+            accuracy=[[1, 0], [0, 1], [1, 1]],
+            bids=[1.0, 1.0, 5.0],
+            requirements=[1.0, 1.0],
+        )
+        solution = solve_optimal(instance)
+        assert set(solution.winner_ids) == {"w0", "w1"}
+        assert solution.objective == pytest.approx(2.0)
+
+    def test_solution_covers(self, soac_medium):
+        solution = solve_optimal(soac_medium)
+        assert soac_medium.is_covering(solution.winner_indexes)
+
+    def test_greedy_never_beats_optimal(self, soac_medium):
+        greedy = ReverseAuction().run(soac_medium)
+        optimal = solve_optimal(soac_medium)
+        assert greedy.social_cost >= optimal.social_cost - 1e-9
+
+    def test_greedy_within_theoretical_bound(self, soac_medium):
+        from repro.auction.properties import approximation_bound
+
+        greedy = ReverseAuction().run(soac_medium)
+        optimal = solve_optimal(soac_medium)
+        if optimal.social_cost > 0:
+            ratio = greedy.social_cost / optimal.social_cost
+            assert ratio <= approximation_bound(soac_medium)
+
+    def test_use_costs_switch(self):
+        instance = instance_from(
+            accuracy=[[1.0], [1.0]],
+            bids=[1.0, 2.0],
+            requirements=[1.0],
+            costs=[3.0, 0.5],
+        )
+        by_bids = solve_optimal(instance)
+        by_costs = solve_optimal(instance, use_costs=True)
+        assert by_bids.winner_ids == ("w0",)
+        assert by_costs.winner_ids == ("w1",)
+
+    def test_infeasible_raises(self):
+        instance = instance_from(
+            accuracy=[[0.3]], bids=[1.0], requirements=[1.0]
+        )
+        with pytest.raises(InfeasibleCoverageError):
+            solve_optimal(instance)
+
+    def test_fractional_cover_handled(self):
+        """Multi-cover with fractional accuracies: needs two of three."""
+        instance = instance_from(
+            accuracy=[[0.6], [0.6], [0.6]],
+            bids=[1.0, 2.0, 3.0],
+            requirements=[1.2],
+        )
+        solution = solve_optimal(instance)
+        assert set(solution.winner_ids) == {"w0", "w1"}

@@ -1,0 +1,135 @@
+"""Unit tests for the mechanism-property verifiers (repro.auction.properties)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import ReverseAuction
+from repro.auction.properties import (
+    approximation_bound,
+    bid_utility_curve,
+    verify_individual_rationality,
+    verify_monotonicity,
+    verify_truthfulness,
+)
+
+
+class TestIndividualRationality:
+    def test_holds_on_seeded_instances(self, soac_medium):
+        outcome = ReverseAuction().run(soac_medium)
+        assert verify_individual_rationality(soac_medium, outcome)
+
+    def test_holds_on_small_instance(self, soac_small):
+        outcome = ReverseAuction().run(soac_small)
+        assert verify_individual_rationality(soac_small, outcome)
+
+
+class TestBidUtilityCurve:
+    def test_curve_shape_for_winner(self, soac_medium):
+        outcome = ReverseAuction().run(soac_medium)
+        winner = outcome.winner_ids[0]
+        cost = float(
+            soac_medium.costs[soac_medium.worker_ids.index(winner)]
+        )
+        curve = bid_utility_curve(
+            soac_medium, winner, np.linspace(0.2 * cost, 3 * cost, 9)
+        )
+        # While winning, utility equals payment - cost and is constant
+        # wherever the selection outcome is unchanged; once losing it is 0.
+        for point in curve:
+            if not point.won:
+                assert point.utility == 0.0
+            assert math.isfinite(point.utility)
+
+    def test_winning_region_is_prefix(self, soac_medium):
+        """Monotone selection: the set of winning bids is downward closed."""
+        outcome = ReverseAuction().run(soac_medium)
+        winner = outcome.winner_ids[0]
+        cost = float(soac_medium.costs[soac_medium.worker_ids.index(winner)])
+        curve = bid_utility_curve(
+            soac_medium, winner, np.linspace(0.1 * cost, 4 * cost, 12)
+        )
+        won_flags = [point.won for point in curve]
+        # After the first loss, no later (higher) bid may win.
+        if False in won_flags:
+            first_loss = won_flags.index(False)
+            assert not any(won_flags[first_loss:])
+
+
+class TestTruthfulness:
+    def test_winner_cannot_gain(self, soac_medium):
+        outcome = ReverseAuction().run(soac_medium)
+        winner = outcome.winner_ids[0]
+        cost = float(soac_medium.costs[soac_medium.worker_ids.index(winner)])
+        grid = np.linspace(0.25 * cost, 2.5 * cost, 11)
+        assert verify_truthfulness(soac_medium, winner, grid)
+
+    def test_loser_cannot_gain(self, soac_medium):
+        outcome = ReverseAuction().run(soac_medium)
+        losers = [
+            w for w in soac_medium.worker_ids if w not in outcome.payments
+        ]
+        if not losers:
+            pytest.skip("auction selected everyone on this instance")
+        loser = losers[0]
+        cost = float(soac_medium.costs[soac_medium.worker_ids.index(loser)])
+        grid = np.linspace(0.1 * cost, 2.0 * cost, 11)
+        assert verify_truthfulness(soac_medium, loser, grid)
+
+    def test_every_worker_on_small_instance(self, soac_small):
+        for worker_id in soac_small.worker_ids:
+            cost = float(
+                soac_small.costs[soac_small.worker_ids.index(worker_id)]
+            )
+            grid = np.linspace(0.25 * cost, 3.0 * cost, 9)
+            assert verify_truthfulness(soac_small, worker_id, grid)
+
+
+class TestMonotonicity:
+    def test_winners_monotone(self, soac_medium):
+        outcome = ReverseAuction().run(soac_medium)
+        for winner in outcome.winner_ids[:3]:
+            assert verify_monotonicity(soac_medium, winner)
+
+    def test_vacuous_for_losers(self, soac_medium):
+        outcome = ReverseAuction().run(soac_medium)
+        losers = [
+            w for w in soac_medium.worker_ids if w not in outcome.payments
+        ]
+        if not losers:
+            pytest.skip("auction selected everyone on this instance")
+        assert verify_monotonicity(soac_medium, losers[0])
+
+
+class TestApproximationBound:
+    def test_positive_and_finite(self, soac_medium):
+        bound = approximation_bound(soac_medium)
+        assert bound > 2 * math.e  # H >= 1
+        assert math.isfinite(bound)
+
+    def test_infinite_without_accuracy(self, soac_small):
+        import numpy as np
+
+        from repro import SOACInstance
+
+        empty = SOACInstance(
+            worker_ids=("w0",),
+            task_ids=("t0",),
+            requirements=np.array([0.0]),
+            accuracy=np.array([[0.0]]),
+            bids=np.array([1.0]),
+            costs=np.array([1.0]),
+            task_values=np.array([1.0]),
+        )
+        assert approximation_bound(empty) == math.inf
+
+    def test_grows_with_requirements(self, soac_small):
+        import dataclasses
+
+        bigger = dataclasses.replace(
+            soac_small, requirements=soac_small.requirements * 3
+        )
+        assert approximation_bound(bigger) >= approximation_bound(soac_small)

@@ -1,0 +1,122 @@
+"""Unit tests for the reporting layer (repro.reporting)."""
+
+from __future__ import annotations
+
+import csv
+import json
+
+import pytest
+
+from repro.reporting import (
+    format_table,
+    render_chart,
+    render_result_table,
+    write_csv,
+    write_json,
+)
+from repro.simulation.sweep import ExperimentResult
+
+
+@pytest.fixture
+def demo_result() -> ExperimentResult:
+    return ExperimentResult(
+        experiment_id="demo",
+        title="Demo sweep",
+        x_label="size",
+        y_label="score",
+        x_values=(1.0, 2.0, 4.0),
+        series={"alpha": (0.1, 0.2, 0.4), "beta": (0.4, 0.3, 0.2)},
+        meta={"note": "hello"},
+    )
+
+
+class TestFormatTable:
+    def test_alignment_and_rule(self):
+        text = format_table(["name", "value"], [["a", 1.0], ["bb", 2.5]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "-+-" in lines[1]
+        assert "1.0000" in lines[2]
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["one"], [["a", "b"]])
+
+    def test_custom_float_format(self):
+        text = format_table(["v"], [[3.14159]], float_format="{:.2f}")
+        assert "3.14" in text
+        assert "3.1416" not in text
+
+
+class TestRenderResultTable:
+    def test_contains_series_and_meta(self, demo_result):
+        text = render_result_table(demo_result)
+        assert "demo" in text
+        assert "alpha" in text and "beta" in text
+        assert "note: hello" in text
+
+    def test_row_count(self, demo_result):
+        lines = render_result_table(demo_result).splitlines()
+        data_lines = [line for line in lines if line.strip().startswith(("1", "2", "4"))]
+        assert len(data_lines) == 3
+
+
+class TestRenderChart:
+    def test_contains_markers_and_legend(self, demo_result):
+        chart = render_chart(demo_result)
+        assert "o = alpha" in chart
+        assert "* = beta" in chart
+        assert "size" in chart
+
+    def test_axis_labels_present(self, demo_result):
+        chart = render_chart(demo_result)
+        assert "0.4" in chart  # y max
+        assert "1" in chart and "4" in chart  # x range
+
+    def test_dimension_validation(self, demo_result):
+        with pytest.raises(ValueError):
+            render_chart(demo_result, width=5)
+        with pytest.raises(ValueError):
+            render_chart(demo_result, height=2)
+
+    def test_flat_series_handled(self):
+        flat = ExperimentResult(
+            experiment_id="flat",
+            title="flat",
+            x_label="x",
+            y_label="y",
+            x_values=(1.0, 2.0),
+            series={"c": (3.0, 3.0)},
+        )
+        assert "c" in render_chart(flat)
+
+
+class TestExport:
+    def test_csv_round_trip(self, demo_result, tmp_path):
+        path = write_csv(demo_result, tmp_path / "out" / "demo.csv")
+        with open(path, newline="") as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["size", "alpha", "beta"]
+        assert float(rows[1][1]) == pytest.approx(0.1)
+        assert len(rows) == 4
+
+    def test_json_round_trip(self, demo_result, tmp_path):
+        path = write_json(demo_result, tmp_path / "demo.json")
+        payload = json.loads(path.read_text())
+        assert payload["experiment_id"] == "demo"
+        assert payload["series"]["alpha"] == [0.1, 0.2, 0.4]
+        assert payload["meta"]["note"] == "hello"
+
+    def test_json_handles_non_serializable_meta(self, tmp_path):
+        result = ExperimentResult(
+            experiment_id="x",
+            title="t",
+            x_label="x",
+            y_label="y",
+            x_values=(1.0,),
+            series={"s": (1.0,)},
+            meta={"obj": object(), "nested": {"tuple": (1, 2)}},
+        )
+        payload = json.loads(write_json(result, tmp_path / "x.json").read_text())
+        assert isinstance(payload["meta"]["obj"], str)
+        assert payload["meta"]["nested"]["tuple"] == [1, 2]

@@ -1,0 +1,80 @@
+"""Unit tests for the deterministic RNG helpers (repro.rng)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.rng import ensure_generator, instance_seeds, iter_instance_rngs, spawn
+
+
+class TestEnsureGenerator:
+    def test_none_is_deterministic(self):
+        a = ensure_generator(None).random(4)
+        b = ensure_generator(None).random(4)
+        assert np.array_equal(a, b)
+
+    def test_int_seed_deterministic(self):
+        assert np.array_equal(
+            ensure_generator(123).random(4), ensure_generator(123).random(4)
+        )
+
+    def test_different_seeds_differ(self):
+        assert not np.array_equal(
+            ensure_generator(1).random(4), ensure_generator(2).random(4)
+        )
+
+    def test_generator_passthrough(self):
+        rng = np.random.default_rng(0)
+        assert ensure_generator(rng) is rng
+
+    def test_numpy_integer_accepted(self):
+        rng = ensure_generator(np.int64(5))
+        assert isinstance(rng, np.random.Generator)
+
+    def test_invalid_type_rejected(self):
+        with pytest.raises(TypeError):
+            ensure_generator("seed")  # type: ignore[arg-type]
+
+
+class TestSpawn:
+    def test_children_are_independent_and_deterministic(self):
+        children_a = spawn(ensure_generator(7), 3)
+        children_b = spawn(ensure_generator(7), 3)
+        for a, b in zip(children_a, children_b):
+            assert np.array_equal(a.random(4), b.random(4))
+
+    def test_children_differ_from_each_other(self):
+        a, b = spawn(ensure_generator(7), 2)
+        assert not np.array_equal(a.random(4), b.random(4))
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn(ensure_generator(0), -1)
+
+    def test_zero_count(self):
+        assert spawn(ensure_generator(0), 0) == []
+
+
+class TestInstanceSeeds:
+    def test_deterministic(self):
+        assert instance_seeds(42, 5) == instance_seeds(42, 5)
+
+    def test_distinct(self):
+        seeds = instance_seeds(42, 10)
+        assert len(set(seeds)) == 10
+
+    def test_prefix_stability(self):
+        # Instance k's seed must not depend on how many instances run.
+        assert instance_seeds(42, 3) == instance_seeds(42, 10)[:3]
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            instance_seeds(42, -1)
+
+    def test_iter_instance_rngs_matches_seeds(self):
+        seeds = instance_seeds(9, 3)
+        for rng, seed in zip(iter_instance_rngs(9, 3), seeds):
+            assert np.array_equal(
+                rng.random(3), np.random.default_rng(seed).random(3)
+            )

