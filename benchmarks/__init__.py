@@ -1,0 +1,6 @@
+"""Paper-artifact benchmarks (pytest-benchmark).
+
+A package so ``benchmarks.conftest`` is importable absolutely; default
+test collection is scoped to ``tests/`` (see pyproject.toml), run these
+explicitly with ``pytest benchmarks/``.
+"""

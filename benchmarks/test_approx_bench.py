@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from repro.experiments import run_experiment
 
-from .conftest import BENCH_SEED, report
+from benchmarks.conftest import BENCH_SEED, report
 
 
 def test_approximation_ratio(benchmark):

@@ -11,7 +11,7 @@ import numpy as np
 
 from repro.experiments import run_experiment
 
-from .conftest import BENCH_SCALE, BENCH_SEED, report
+from benchmarks.conftest import BENCH_SCALE, BENCH_SEED, report
 
 
 def test_fig3a_epsilon_alpha_insensitivity(benchmark):

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from repro.experiments import run_experiment
 
-from .conftest import BENCH_SCALE, BENCH_SEED, report, series_mean
+from benchmarks.conftest import BENCH_SCALE, BENCH_SEED, report, series_mean
 
 
 def test_fig6a_social_cost_vs_tasks(benchmark):

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from repro.experiments import run_experiment
 
-from .conftest import BENCH_SCALE, BENCH_SEED, report
+from benchmarks.conftest import BENCH_SCALE, BENCH_SEED, report
 
 
 def test_fig8a_winner_utility_curve(benchmark):

@@ -8,17 +8,27 @@ complexity discussion in Lemma 1 and DESIGN.md §7.
 
 from __future__ import annotations
 
+import time
+
+import numpy as np
 import pytest
 
 from repro import DATE, ReverseAuction, SOACInstance
-from repro.core import DatasetIndex
+from repro.core import DateConfig, DatasetIndex
 from repro.core.accuracy import update_accuracy_matrix, value_posteriors
 from repro.core.dependence import compute_pairwise_dependence
+from repro.core.engine import (
+    accuracy_flat,
+    independence_flat,
+    pairwise_dependence_arrays,
+    plain_posterior_groups,
+)
+from repro.core.falsedist import UniformFalseValues
 from repro.core.independence import independence_probabilities
 from repro.datasets import generate_qatar_living_like
 from repro.auction.reverse_auction import greedy_cover
 
-from .conftest import BENCH_SCALE, BENCH_SEED
+from benchmarks.conftest import BENCH_SCALE, BENCH_SEED
 
 
 @pytest.fixture(scope="module")
@@ -50,6 +60,23 @@ def bench_dependence(bench_index, bench_accuracy):
         bench_accuracy,
         copy_prob_r=0.4,
         prior_alpha=0.2,
+    )
+
+
+@pytest.fixture(scope="module")
+def bench_arrays(bench_index):
+    return bench_index.arrays
+
+
+@pytest.fixture(scope="module")
+def bench_dependence_arrays(bench_index, bench_arrays):
+    return pairwise_dependence_arrays(
+        bench_arrays,
+        bench_arrays.majority_codes(),
+        np.full(bench_arrays.n_claims, 0.5),
+        copy_prob_r=0.4,
+        prior_alpha=0.2,
+        collision=UniformFalseValues().collision_array(bench_index),
     )
 
 
@@ -116,6 +143,84 @@ def test_full_date_run(benchmark, bench_dataset, bench_index):
         lambda: DATE().run(bench_dataset, index=bench_index),
         rounds=3,
         iterations=1,
+    )
+
+
+def test_full_date_run_reference_backend(benchmark, bench_dataset, bench_index):
+    config = DateConfig(backend="reference")
+    benchmark.pedantic(
+        lambda: DATE(config).run(bench_dataset, index=bench_index),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_vectorized_step1_dependence(benchmark, bench_index, bench_arrays):
+    truth_codes = bench_arrays.majority_codes()
+    claim_acc = np.full(bench_arrays.n_claims, 0.5)
+    collision = UniformFalseValues().collision_array(bench_index)
+    benchmark(
+        lambda: pairwise_dependence_arrays(
+            bench_arrays,
+            truth_codes,
+            claim_acc,
+            copy_prob_r=0.4,
+            prior_alpha=0.2,
+            collision=collision,
+        )
+    )
+
+
+def test_vectorized_step2_independence(
+    benchmark, bench_arrays, bench_dependence_arrays
+):
+    benchmark(
+        lambda: independence_flat(
+            bench_arrays, bench_dependence_arrays, copy_prob_r=0.4
+        )
+    )
+
+
+def test_vectorized_step3_posteriors_and_accuracy(benchmark, bench_index, bench_arrays):
+    claim_acc = np.full(bench_arrays.n_claims, 0.5)
+    model = UniformFalseValues()
+
+    def step():
+        posteriors = plain_posterior_groups(
+            bench_arrays, claim_acc, false_values=model
+        )
+        return accuracy_flat(bench_arrays, posteriors)
+
+    benchmark(step)
+
+
+def test_date_backend_speedup(bench_dataset):
+    """The acceptance gate: vectorized DATE >= 5x the scalar reference.
+
+    Times the full iteration (index construction excluded — both
+    backends share one) on the qatar-living-like benchmark dataset,
+    best-of-3 to shrug off scheduler noise.
+    """
+    vectorized = DateConfig()
+    reference = DateConfig(backend="reference")
+
+    def best_of(config, rounds=3):
+        index = DatasetIndex(bench_dataset)
+        DATE(config).run(bench_dataset, index=index)  # warm-up
+        timings = []
+        for _ in range(rounds):
+            start = time.perf_counter()
+            DATE(config).run(bench_dataset, index=index)
+            timings.append(time.perf_counter() - start)
+        return min(timings)
+
+    t_vec = best_of(vectorized)
+    t_ref = best_of(reference)
+    speedup = t_ref / t_vec
+    print(f"\nDATE iteration: reference {t_ref * 1e3:.1f} ms, "
+          f"vectorized {t_vec * 1e3:.1f} ms, speedup {speedup:.1f}x")
+    assert speedup >= 5.0, (
+        f"vectorized backend only {speedup:.1f}x faster than reference"
     )
 
 

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from repro.experiments import run_experiment
 
-from .conftest import report
+from benchmarks.conftest import report
 
 
 def test_table1(benchmark):

@@ -23,11 +23,14 @@ from __future__ import annotations
 
 from itertools import product
 
+import numpy as np
+
 from ..core.config import DateConfig
 from ..core.date import DATE
 from ..core.dependence import DependencePosterior, directed_probability
+from ..core.engine import DependenceArrays
 from ..core.independence import IndependenceTable
-from ..core.indexing import DatasetIndex
+from ..core.indexing import ClaimArrays, DatasetIndex
 from ..errors import ConfigurationError
 
 __all__ = ["EnumerateDependence"]
@@ -99,3 +102,35 @@ class EnumerateDependence(DATE):
                 per_value[value] = scores
             table.append(per_value)
         return table
+
+    def _independence_flat(
+        self,
+        index: DatasetIndex,
+        arrays: ClaimArrays,
+        dependence: DependenceArrays,
+    ) -> np.ndarray:
+        """Array-side enumeration: same exponential step 2, flat output.
+
+        Steps 1 and 3 ride the vectorized kernels; the per-worker
+        ``2^k`` configuration sweep — the cost ED exists to measure —
+        stays explicit, fed by the dense directed-dependence lookup.
+        """
+        r = self.config.copy_prob_r
+        directed = dependence.directed_matrix(arrays)
+        indep = np.ones(arrays.n_claims, dtype=np.float64)
+        for m, claim_idx in arrays.multi_group_buckets:
+            members = arrays.claim_worker[claim_idx]  # (G, m)
+            # r * P(i -> i') for every ordered member pair of the group.
+            edges = r * directed[members[:, :, None], members[:, None, :]]
+            if m - 1 <= self.exact_enumeration_limit:
+                off_diag = ~np.eye(m, dtype=bool)
+                for g in range(len(members)):
+                    for k in range(m):
+                        indep[claim_idx[g, k]] = _enumerated_independence(
+                            edges[g, k][off_diag[k]].tolist()
+                        )
+            else:
+                complements = 1.0 - edges
+                complements[:, np.arange(m), np.arange(m)] = 1.0
+                indep[claim_idx] = complements.prod(axis=2)
+        return indep

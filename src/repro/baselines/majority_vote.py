@@ -16,6 +16,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..core.date import TruthDiscoveryResult, build_result
+from ..core.engine import dense_accuracy, posterior_table, support_table
 from ..core.indexing import DatasetIndex
 from ..types import Dataset
 
@@ -30,37 +31,47 @@ class MajorityVote:
     def run(
         self, dataset: Dataset, *, index: DatasetIndex | None = None
     ) -> TruthDiscoveryResult:
-        """Vote once and derive agreement-based worker accuracies."""
+        """Vote once and derive agreement-based worker accuracies.
+
+        Runs entirely on the integer-coded claim arrays: the vote, the
+        vote-share posteriors, and the per-worker agreement rates are
+        all segment reductions over value groups / workers.
+        """
         index = index or DatasetIndex(dataset)
-        truths = index.majority_vote()
+        arrays = index.arrays
+        truth_codes = arrays.majority_codes()
 
         # Vote shares double as per-value "posteriors" and support.
-        posteriors: list[dict[str, float]] = []
-        support: list[dict[str, float]] = []
-        for j in range(index.n_tasks):
-            groups = index.value_groups[j]
-            counts = {v: float(len(ws)) for v, ws in groups.items()}
-            total = sum(counts.values())
-            posteriors.append(
-                {v: c / total for v, c in counts.items()} if total else {}
-            )
-            support.append(counts)
+        counts = arrays.group_size.astype(np.float64)
+        task_totals = np.bincount(
+            arrays.claim_task, minlength=index.n_tasks
+        ).astype(np.float64)
+        shares = np.divide(
+            counts,
+            task_totals[arrays.group_task],
+            out=np.zeros_like(counts),
+            where=task_totals[arrays.group_task] > 0,
+        )
+        posteriors = posterior_table(arrays, shares)
+        support = support_table(arrays, counts)
 
         # Accuracy: each worker's agreement rate with the majority
         # answers, broadcast over its answered tasks.
-        accuracy = np.zeros((index.n_workers, index.n_tasks), dtype=np.float64)
-        for i, claims in enumerate(index.claims_by_worker):
-            if not claims:
-                continue
-            agreement = np.mean(
-                [1.0 if truths[j] == value else 0.0 for j, value in claims.items()]
-            )
-            for j in claims:
-                accuracy[i, j] = agreement
+        agrees = (
+            arrays.claim_code == truth_codes[arrays.claim_task]
+        ).astype(np.float64)
+        hits = np.bincount(
+            arrays.claim_worker, weights=agrees, minlength=index.n_workers
+        )
+        answered = np.bincount(arrays.claim_worker, minlength=index.n_workers)
+        agreement = np.divide(
+            hits, answered, out=np.zeros(index.n_workers), where=answered > 0
+        )
+        accuracy = dense_accuracy(arrays, agreement[arrays.claim_worker])
 
         return build_result(
             index,
-            truths,
+            arrays.truth_values(truth_codes),
             accuracy,
             posteriors,
             support,

@@ -14,24 +14,31 @@ Submodules map one-to-one onto the steps of the algorithm:
   the similarity adjustment of Sec. IV-A (Eq. 21, Alg. 1 line 28);
 - :mod:`repro.core.falsedist` — false-value distribution models,
   including the non-uniform generalization of Sec. IV-B (Eqs. 22-23);
+- :mod:`repro.core.engine` — the vectorized backend: the same four
+  steps as single numpy passes over the integer-coded claim arrays
+  (:class:`~repro.core.indexing.ClaimArrays`), selected via
+  ``DateConfig.backend`` (DESIGN.md §7);
 - :mod:`repro.core.date` — the iterative driver (Alg. 1).
 """
 
 from .config import DateConfig
 from .date import DATE, TruthDiscoveryResult, discover_truth
 from .dependence import DependencePosterior, compute_pairwise_dependence
+from .engine import DependenceArrays
 from .falsedist import (
     EmpiricalFalseValues,
     FalseValueDistribution,
     UniformFalseValues,
     ZipfFalseValues,
 )
-from .indexing import DatasetIndex
+from .indexing import ClaimArrays, DatasetIndex
 
 __all__ = [
     "DATE",
+    "ClaimArrays",
     "DateConfig",
     "DatasetIndex",
+    "DependenceArrays",
     "DependencePosterior",
     "EmpiricalFalseValues",
     "FalseValueDistribution",

@@ -58,6 +58,14 @@ class DateConfig:
         False-value distribution model (uniform by default; Sec. IV-B).
     similarity / similarity_weight:
         Optional Sec. IV-A value-similarity adjustment (ρ).
+    backend:
+        Execution engine: ``"vectorized"`` (default) runs every kernel
+        as numpy passes over the integer-coded claim arrays
+        (:mod:`repro.core.engine`); ``"reference"`` runs the scalar
+        per-element implementations the equations were transcribed
+        into.  Both produce the same results (DESIGN.md §7; pinned by
+        tests/property/test_property_backends.py) — keep the reference
+        around for equivalence testing and line-by-line auditing.
     """
 
     copy_prob_r: float = 0.4
@@ -72,6 +80,7 @@ class DateConfig:
     false_values: FalseValueDistribution = field(default_factory=UniformFalseValues)
     similarity: SimilarityFn | None = None
     similarity_weight: float = 0.0
+    backend: str = "vectorized"
 
     def __post_init__(self) -> None:
         if not 0.0 < self.copy_prob_r < 1.0:
@@ -120,6 +129,10 @@ class DateConfig:
         if self.similarity_weight > 0.0 and self.similarity is None:
             raise ConfigurationError(
                 "similarity_weight > 0 requires a similarity function"
+            )
+        if self.backend not in ("vectorized", "reference"):
+            raise ConfigurationError(
+                f"backend must be 'vectorized' or 'reference', got {self.backend!r}"
             )
 
     def evolve(self, **changes: Any) -> "DateConfig":

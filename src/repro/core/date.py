@@ -35,11 +35,65 @@ from .accuracy import (
 )
 from .config import DateConfig
 from .dependence import DependencePosterior, compute_pairwise_dependence
+from .engine import (
+    DependenceArrays,
+    accuracy_flat,
+    dense_accuracy,
+    dependence_table,
+    discounted_posterior_groups,
+    independence_flat,
+    pairwise_dependence_arrays,
+    plain_posterior_groups,
+    posterior_table,
+    select_truth_codes,
+    support_flat,
+    support_table,
+)
 from .independence import independence_probabilities
-from .indexing import DatasetIndex
+from .indexing import ClaimArrays, DatasetIndex
 from .support import select_truths, support_counts
 
-__all__ = ["DATE", "TruthDiscoveryResult", "discover_truth"]
+__all__ = ["DATE", "TruthDiscoveryResult", "discover_truth", "iterate_truths"]
+
+
+def iterate_truths(initial, step, *, max_iterations, state_key, label):
+    """Alg. 1's outer loop, shared by DATE and NC on both backends.
+
+    Calls ``step(truths) -> new_truths`` until the estimate stabilizes,
+    enters a cycle (period >= 2 — keep the current member
+    deterministically), or hits the iteration cap ``max_iterations``
+    (then warn).  ``state_key`` maps a truth estimate to a hashable
+    snapshot (``tuple`` for string lists, ``ndarray.tobytes`` for code
+    arrays).  Returns ``(truths, iterations, converged)``.
+    """
+    truths = initial
+    key = state_key(initial)
+    seen_states = {key}
+    iterations = 0
+    converged = False
+    cycled = False
+    while iterations < max_iterations:
+        iterations += 1
+        truths = step(truths)
+        new_key = state_key(truths)
+        if new_key == key:
+            converged = True
+            break
+        key = new_key
+        if key in seen_states:
+            cycled = True
+            break
+        seen_states.add(key)
+    if not converged and not cycled:
+        warnings.warn(
+            f"{label} stopped at the iteration cap ({max_iterations}) "
+            "without the truth estimate stabilizing",
+            ConvergenceWarning,
+            # Attribute the warning to the caller of run(), four frames
+            # up: iterate_truths -> _run_* -> run -> caller.
+            stacklevel=4,
+        )
+    return truths, iterations, converged
 
 
 @dataclass(frozen=True, eq=False)
@@ -133,6 +187,21 @@ class DATE:
             discount_mode=self.config.discount_mode,
         )
 
+    def _independence_flat(
+        self,
+        index: DatasetIndex,
+        arrays: ClaimArrays,
+        dependence: DependenceArrays,
+    ):
+        """Array-side step 2 hook (vectorized backend); ED overrides it."""
+        return independence_flat(
+            arrays,
+            dependence,
+            copy_prob_r=self.config.copy_prob_r,
+            ordering=self.config.ordering,
+            discount_mode=self.config.discount_mode,
+        )
+
     def run(
         self,
         dataset: Dataset,
@@ -149,9 +218,23 @@ class DATE:
         of claims converges in fewer iterations because worker
         reputations carry over.  Workers or tasks unknown to the warm
         start fall back to the cold-start defaults.
+
+        ``config.backend`` selects the execution engine — the
+        array-native vectorized kernels (default) or the scalar
+        reference transcription; both produce the same result.
         """
-        cfg = self.config
         index = index or DatasetIndex(dataset)
+        if self.config.backend == "vectorized":
+            return self._run_vectorized(index, warm_start)
+        return self._run_reference(index, warm_start)
+
+    def _run_reference(
+        self,
+        index: DatasetIndex,
+        warm_start: TruthDiscoveryResult | None,
+    ) -> TruthDiscoveryResult:
+        """Alg. 1 over the scalar per-element kernels."""
+        cfg = self.config
         cfg.false_values.prepare(index)
 
         truths = index.majority_vote()
@@ -168,16 +251,13 @@ class DATE:
                 for j in index.claims_by_worker[i]:
                     accuracy[i, j] = carried_accuracy
 
-        iterations = 0
-        converged = False
-        cycled = False
-        seen_states: set[tuple[str | None, ...]] = {tuple(truths)}
         dependence: dict[tuple[int, int], DependencePosterior] = {}
         independence = None
         posteriors = None
         support = None
-        while iterations < cfg.max_iterations:
-            iterations += 1
+
+        def step(truths):
+            nonlocal dependence, independence, posteriors, support, accuracy
             dependence = compute_pairwise_dependence(
                 index,
                 truths,
@@ -213,27 +293,15 @@ class DATE:
                 similarity=cfg.similarity,
                 similarity_weight=cfg.similarity_weight,
             )
-            new_truths = select_truths(support)
-            if new_truths == truths:
-                truths = new_truths
-                converged = True
-                break
-            truths = new_truths
-            state = tuple(truths)
-            if state in seen_states:
-                # The estimate entered a cycle (period >= 2); further
-                # iterations would repeat it forever.  Keep the current
-                # member of the cycle deterministically.
-                cycled = True
-                break
-            seen_states.add(state)
-        if not converged and not cycled:
-            warnings.warn(
-                f"DATE stopped at the iteration cap ({cfg.max_iterations}) "
-                "without the truth estimate stabilizing",
-                ConvergenceWarning,
-                stacklevel=2,
-            )
+            return select_truths(support)
+
+        truths, iterations, converged = iterate_truths(
+            truths,
+            step,
+            max_iterations=cfg.max_iterations,
+            state_key=tuple,
+            label="DATE",
+        )
         return build_result(
             index,
             truths,
@@ -241,6 +309,109 @@ class DATE:
             posteriors if posteriors is not None else [],
             support if support is not None else [],
             dependence,
+            iterations=iterations,
+            converged=converged,
+            method=self.method_name,
+        )
+
+    def _run_vectorized(
+        self,
+        index: DatasetIndex,
+        warm_start: TruthDiscoveryResult | None,
+    ) -> TruthDiscoveryResult:
+        """Alg. 1 over the array kernels of :mod:`repro.core.engine`.
+
+        Inner-loop state is three flat arrays (per-claim accuracy,
+        per-claim independence, per-task truth codes); the string-keyed
+        result structures are materialized once after convergence.
+        """
+        cfg = self.config
+        arrays = index.arrays
+        cfg.false_values.prepare(index)
+        collision = cfg.false_values.collision_array(index)
+        group_q = (
+            cfg.false_values.value_probability_array(index)
+            if cfg.discounted_posterior
+            else None
+        )
+
+        truth_codes = arrays.majority_codes()
+        claim_acc = np.full(arrays.n_claims, cfg.initial_accuracy, dtype=np.float64)
+        if warm_start is not None:
+            lookup = arrays.code_lookup
+            for j, task_id in enumerate(index.task_ids):
+                carried = warm_start.truths.get(task_id)
+                if carried is not None:
+                    code = lookup[j].get(carried)
+                    if code is not None:
+                        truth_codes[j] = code
+            for i, worker_id in enumerate(index.worker_ids):
+                carried_accuracy = warm_start.worker_accuracy.get(worker_id)
+                if carried_accuracy is None or carried_accuracy <= 0.0:
+                    continue
+                start, end = arrays.worker_ptr[i], arrays.worker_ptr[i + 1]
+                claim_acc[arrays.worker_claims[start:end]] = carried_accuracy
+
+        dependence = DependenceArrays(p_ab=np.empty(0), p_ba=np.empty(0))
+        indep = None
+        group_post = None
+        group_support = None
+
+        def step(truth_codes):
+            nonlocal dependence, indep, group_post, group_support, claim_acc
+            dependence = pairwise_dependence_arrays(
+                arrays,
+                truth_codes,
+                claim_acc,
+                copy_prob_r=cfg.copy_prob_r,
+                prior_alpha=cfg.prior_alpha,
+                collision=collision,
+                accuracy_clamp=cfg.accuracy_clamp,
+            )
+            indep = self._independence_flat(index, arrays, dependence)
+            if cfg.discounted_posterior:
+                group_post = discounted_posterior_groups(
+                    arrays,
+                    claim_acc,
+                    indep,
+                    group_q=group_q,
+                    accuracy_clamp=cfg.accuracy_clamp,
+                )
+            else:
+                group_post = plain_posterior_groups(
+                    arrays,
+                    claim_acc,
+                    false_values=cfg.false_values,
+                    accuracy_clamp=cfg.accuracy_clamp,
+                )
+            claim_acc = accuracy_flat(
+                arrays, group_post, granularity=cfg.granularity
+            )
+            group_support = support_flat(
+                arrays,
+                claim_acc,
+                indep,
+                similarity=cfg.similarity,
+                similarity_weight=cfg.similarity_weight,
+            )
+            return select_truth_codes(arrays, group_support)
+
+        truth_codes, iterations, converged = iterate_truths(
+            truth_codes,
+            step,
+            max_iterations=cfg.max_iterations,
+            state_key=lambda codes: codes.tobytes(),
+            label="DATE",
+        )
+        return build_result(
+            index,
+            arrays.truth_values(truth_codes),
+            dense_accuracy(arrays, claim_acc),
+            posterior_table(arrays, group_post) if group_post is not None else [],
+            support_table(arrays, group_support)
+            if group_support is not None
+            else [],
+            dependence_table(arrays, dependence),
             iterations=iterations,
             converged=converged,
             method=self.method_name,

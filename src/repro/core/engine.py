@@ -1,0 +1,473 @@
+"""Vectorized DATE kernels over :class:`~repro.core.indexing.ClaimArrays`.
+
+This module is the array-native twin of the scalar step modules
+(:mod:`~repro.core.dependence`, :mod:`~repro.core.independence`,
+:mod:`~repro.core.accuracy`, :mod:`~repro.core.support`): every kernel
+computes the same quantity from the same equations, but as flat numpy
+passes over the integer-coded claim arrays instead of per-element
+Python loops.  State lives in three flat arrays between iterations:
+
+- ``claim_acc`` — one accuracy per claim (the non-zero entries of the
+  dense ``A`` matrix, in claim order);
+- ``indep`` — one independence probability ``I_v^j(i)`` per claim;
+- ``truth_codes`` — one value code per task (-1 for unanswered tasks).
+
+The dense matrix and the string-keyed tables of the public API are
+materialized once at the end of a run (:func:`dense_accuracy`,
+:func:`posterior_table`, :func:`support_table`,
+:func:`dependence_table`).  DESIGN.md §7 documents the encoding and the
+backend selection; tests/property/test_property_backends.py pins the
+equivalence with the scalar reference backend.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from .dependence import DependencePosterior
+from .indexing import ClaimArrays, DatasetIndex, segment_first_argmax_code
+
+__all__ = [
+    "DependenceArrays",
+    "pairwise_dependence_arrays",
+    "independence_flat",
+    "plain_posterior_groups",
+    "discounted_posterior_groups",
+    "accuracy_flat",
+    "support_flat",
+    "select_truth_codes",
+    "dense_accuracy",
+    "posterior_table",
+    "support_table",
+    "dependence_table",
+    "independence_table",
+]
+
+# Same likelihood clamp as the scalar kernels.
+_MIN_PROB = 1e-12
+
+
+def _safe_log(x: np.ndarray) -> np.ndarray:
+    return np.log(np.maximum(x, _MIN_PROB))
+
+
+@dataclass(frozen=True)
+class DependenceArrays:
+    """Directional dependence posteriors for every co-answering pair.
+
+    ``p_ab[k]`` is ``P(pair_a[k] -> pair_b[k] | D)`` (the first worker
+    of pair ``k`` copies from the second), ``p_ba`` the reverse — the
+    array form of :class:`~repro.core.dependence.DependencePosterior`
+    over ``ClaimArrays.pair_a/pair_b``.
+    """
+
+    p_ab: np.ndarray
+    p_ba: np.ndarray
+
+    def directed_matrix(self, arrays: ClaimArrays) -> np.ndarray:
+        """Dense ``D[i, k] = P(i -> k | D)`` lookup (0 where undefined).
+
+        O(n_workers²) memory — fine for the paper-scale worlds this
+        repo simulates; swap for a hash/CSR lookup before pointing the
+        engine at crowds of millions (DESIGN.md §7).
+        """
+        n = arrays.index.n_workers
+        matrix = np.zeros((n, n), dtype=np.float64)
+        matrix[arrays.pair_a, arrays.pair_b] = self.p_ab
+        matrix[arrays.pair_b, arrays.pair_a] = self.p_ba
+        return matrix
+
+
+def pairwise_dependence_arrays(
+    arrays: ClaimArrays,
+    truth_codes: np.ndarray,
+    claim_acc: np.ndarray,
+    *,
+    copy_prob_r: float,
+    prior_alpha: float,
+    collision: np.ndarray,
+    accuracy_clamp: tuple[float, float] = (0.01, 0.99),
+) -> DependenceArrays:
+    """Step 1 (Eqs. 7-15) as one pass over the (pair, shared task) rows.
+
+    Mirrors :func:`~repro.core.dependence.compute_pairwise_dependence`:
+    each flattened row contributes its log-likelihood terms to the three
+    hypotheses of its pair (segment sums by pair), then Bayes' rule with
+    the α/2 prior split normalizes in log space.  ``collision`` is the
+    per-task false-value collision probability (Eq. 22's integral),
+    typically :meth:`FalseValueDistribution.collision_array`.
+    """
+    if not 0.0 < copy_prob_r < 1.0:
+        raise ValueError(f"copy_prob_r must be in (0, 1), got {copy_prob_r}")
+    if not 0.0 < prior_alpha < 1.0:
+        raise ValueError(f"prior_alpha must be in (0, 1), got {prior_alpha}")
+    lo, hi = accuracy_clamp
+    r = copy_prob_r
+
+    acc_a = np.clip(claim_acc[arrays.ps_claim_a], lo, hi)
+    acc_b = np.clip(claim_acc[arrays.ps_claim_b], lo, hi)
+    code_a = arrays.claim_code[arrays.ps_claim_a]
+    code_b = arrays.claim_code[arrays.ps_claim_b]
+    col = collision[arrays.ps_task]
+
+    same = code_a == code_b
+    is_truth = same & (code_a == truth_codes[arrays.ps_task])
+
+    p_same_true = acc_a * acc_b
+    p_same_false = (1.0 - acc_a) * (1.0 - acc_b) * col
+    # T_s rows use the true-agreement likelihood, T_f rows the
+    # false-collision one (Eqs. 7, 8, 11, 12, 22).
+    p_same = np.where(is_truth, p_same_true, p_same_false)
+    src_a = np.where(is_truth, acc_a, 1.0 - acc_a)
+    src_b = np.where(is_truth, acc_b, 1.0 - acc_b)
+    # T_d rows: P_d = 1 - P_s - P_f (Eqs. 9, 13).
+    p_diff = np.maximum(1.0 - p_same_true - p_same_false, _MIN_PROB)
+
+    log_diff_dep = _safe_log(p_diff * (1.0 - r))
+    log_ind = np.where(same, _safe_log(p_same), _safe_log(p_diff))
+    log_ab = np.where(same, _safe_log(src_b * r + p_same * (1.0 - r)), log_diff_dep)
+    log_ba = np.where(same, _safe_log(src_a * r + p_same * (1.0 - r)), log_diff_dep)
+
+    n_pairs = arrays.n_pairs
+    score_ind = math.log(1.0 - prior_alpha) + np.bincount(
+        arrays.ps_pair, weights=log_ind, minlength=n_pairs
+    )
+    log_prior_dep = math.log(prior_alpha / 2.0)
+    score_ab = log_prior_dep + np.bincount(
+        arrays.ps_pair, weights=log_ab, minlength=n_pairs
+    )
+    score_ba = log_prior_dep + np.bincount(
+        arrays.ps_pair, weights=log_ba, minlength=n_pairs
+    )
+
+    peak = np.maximum(score_ind, np.maximum(score_ab, score_ba))
+    w_ind = np.exp(score_ind - peak)
+    w_ab = np.exp(score_ab - peak)
+    w_ba = np.exp(score_ba - peak)
+    total = w_ind + w_ab + w_ba
+    return DependenceArrays(p_ab=w_ab / total, p_ba=w_ba / total)
+
+
+def independence_flat(
+    arrays: ClaimArrays,
+    dependence: DependenceArrays,
+    *,
+    copy_prob_r: float,
+    ordering: str = "dependent_first",
+    discount_mode: str = "directed",
+) -> np.ndarray:
+    """Step 2 (Eq. 16): one independence probability per claim.
+
+    The greedy ordering inside each multi-provider value group is
+    inherently sequential in the group *size*, but not across groups:
+    all groups of one size run batched (``(G, m, m)`` tensors over a
+    dense directed-dependence lookup), so the Python loop is one step
+    per distinct group size — not per group.  Single-provider groups
+    keep the definitional ``I = 1`` without being visited at all.
+
+    Ordering and tie-break rules replicate
+    :func:`~repro.core.independence.order_value_group` exactly: groups
+    store workers ascending, and ``argmax``/``argmin`` pick the first
+    (smallest-index) element on ties.
+    """
+    if not 0.0 < copy_prob_r < 1.0:
+        raise ValueError(f"copy_prob_r must be in (0, 1), got {copy_prob_r}")
+    if ordering not in ("dependent_first", "independent_first"):
+        raise ValueError(
+            "ordering must be 'dependent_first' or 'independent_first', "
+            f"got {ordering!r}"
+        )
+    if discount_mode not in ("directed", "total"):
+        raise ValueError(
+            f"discount_mode must be 'directed' or 'total', got {discount_mode!r}"
+        )
+    r = copy_prob_r
+    indep = np.ones(arrays.n_claims, dtype=np.float64)
+    buckets = arrays.multi_group_buckets
+    if not buckets:
+        return indep
+
+    directed = dependence.directed_matrix(arrays)
+    for m, claim_idx in buckets:
+        members = arrays.claim_worker[claim_idx]  # (G, m)
+        sub = directed[members[:, :, None], members[:, None, :]]  # (G, m, m)
+        total_sub = sub + sub.transpose(0, 2, 1)
+        totals = total_sub.sum(axis=2)
+        if ordering == "dependent_first":
+            first = np.argmax(totals, axis=1)
+        else:
+            first = np.argmin(totals, axis=1)
+
+        n_groups = len(members)
+        rows = np.arange(n_groups)
+        order = np.empty((n_groups, m), dtype=np.int64)
+        order[:, 0] = first
+        selected = np.zeros((n_groups, m), dtype=bool)
+        selected[rows, first] = True
+        # Best directed attachment to any already-selected member
+        # (Alg. 1 line 19), grown one selection at a time for every
+        # group of this size simultaneously.
+        attachment = sub[rows, :, first].copy()
+        for position in range(1, m):
+            masked = np.where(selected, -np.inf, attachment)
+            nxt = np.argmax(masked, axis=1)
+            order[:, position] = nxt
+            selected[rows, nxt] = True
+            np.maximum(attachment, sub[rows, :, nxt], out=attachment)
+
+        discount_source = sub if discount_mode == "directed" else total_sub
+        ordered = discount_source[
+            rows[:, None, None], order[:, :, None], order[:, None, :]
+        ]
+        # score[k] = prod over predecessors l < k of (1 - r * dep[k, l]);
+        # tril zeroes the non-predecessor entries, whose factor is 1.
+        factors = 1.0 - r * np.tril(ordered, k=-1)
+        flat_positions = np.take_along_axis(claim_idx, order, axis=1)
+        indep[flat_positions] = np.prod(factors, axis=2)
+    return indep
+
+
+def _segment_softmax(scores: np.ndarray, seg_ids: np.ndarray, ptr: np.ndarray) -> np.ndarray:
+    """Softmax within each segment of a flat score array.
+
+    ``seg_ids`` assigns each element to a segment; ``ptr`` is the CSR
+    pointer of the (contiguous) segments.  Matches the scalar kernels'
+    peak-shifted exponentiation.
+    """
+    n_seg = len(ptr) - 1
+    if len(scores) == 0:
+        return scores.copy()
+    starts = ptr[:-1]
+    nonempty = ptr[1:] > starts
+    peak = np.full(n_seg, -np.inf)
+    peak[nonempty] = np.maximum.reduceat(scores, starts[nonempty])
+    weights = np.exp(scores - peak[seg_ids])
+    totals = np.bincount(seg_ids, weights=weights, minlength=n_seg)
+    return weights / totals[seg_ids]
+
+
+def plain_posterior_groups(
+    arrays: ClaimArrays,
+    claim_acc: np.ndarray,
+    *,
+    false_values,
+    accuracy_clamp: tuple[float, float] = (0.01, 0.99),
+) -> np.ndarray:
+    """Eq. 20 posteriors (undiscounted), one probability per value group.
+
+    Mirrors :func:`~repro.core.accuracy.value_posteriors`.  When the
+    false-value model is candidate-free (the uniform default: ``q``
+    depends only on the task), the whole computation is three segment
+    sums; otherwise each task builds its small ``K x K`` false-value
+    matrix through the scalar model API.
+    """
+    lo, hi = accuracy_clamp
+    acc = np.clip(claim_acc, lo, hi)
+    log_acc = np.log(acc)
+    index = arrays.index
+
+    if getattr(false_values, "candidate_free", False):
+        q = false_values.value_probability_array(index)[arrays.claim_group]
+        log_false = _safe_log((1.0 - acc) * q)
+        # Score of group g = Σ_{claims in g} log A + Σ_{other claims of
+        # the task} log((1-A) q): per-task totals minus the group's own.
+        task_false = np.bincount(
+            arrays.claim_task, weights=log_false, minlength=index.n_tasks
+        )
+        own_acc = np.bincount(
+            arrays.claim_group, weights=log_acc, minlength=arrays.n_groups
+        )
+        own_false = np.bincount(
+            arrays.claim_group, weights=log_false, minlength=arrays.n_groups
+        )
+        scores = own_acc + task_false[arrays.group_task] - own_false
+        return _segment_softmax(scores, arrays.group_task, arrays.task_group_ptr)
+
+    # General model: per-task K x K false-value matrices, computed once
+    # per index (they are iteration-invariant) and cached on the model.
+    q_matrices = false_values.value_probability_matrices(index)
+    scores = np.empty(arrays.n_groups, dtype=np.float64)
+    for j in range(index.n_tasks):
+        g0, g1 = int(arrays.task_group_ptr[j]), int(arrays.task_group_ptr[j + 1])
+        if g0 == g1:
+            continue
+        c0, c1 = int(arrays.task_ptr[j]), int(arrays.task_ptr[j + 1])
+        q = q_matrices[j]
+        codes = arrays.claim_code[c0:c1]
+        acc_j = acc[c0:c1]
+        contrib = _safe_log((1.0 - acc_j)[:, None] * q[codes, :])
+        own = codes[:, None] == np.arange(g1 - g0)[None, :]
+        contrib = np.where(own, log_acc[c0:c1, None], contrib)
+        scores[g0:g1] = contrib.sum(axis=0)
+    return _segment_softmax(scores, arrays.group_task, arrays.task_group_ptr)
+
+
+def discounted_posterior_groups(
+    arrays: ClaimArrays,
+    claim_acc: np.ndarray,
+    indep: np.ndarray,
+    *,
+    group_q: np.ndarray,
+    accuracy_clamp: tuple[float, float] = (0.01, 0.99),
+) -> np.ndarray:
+    """Independence-weighted posteriors, one per value group.
+
+    Mirrors :func:`~repro.core.accuracy.discounted_value_posteriors`:
+    each claim contributes ``I · (ln A - ln((1-A) q))`` to its group's
+    log score; scores are softmax-normalized per task.  ``group_q`` is
+    the per-group false-value probability (already floored at the
+    likelihood clamp), typically
+    :meth:`FalseValueDistribution.value_probability_array`.
+    """
+    lo, hi = accuracy_clamp
+    acc = np.clip(claim_acc, lo, hi)
+    q = group_q[arrays.claim_group]
+    term = indep * (np.log(acc) - _safe_log((1.0 - acc) * q))
+    scores = np.bincount(arrays.claim_group, weights=term, minlength=arrays.n_groups)
+    return _segment_softmax(scores, arrays.group_task, arrays.task_group_ptr)
+
+
+def accuracy_flat(
+    arrays: ClaimArrays,
+    group_post: np.ndarray,
+    *,
+    granularity: str = "worker",
+) -> np.ndarray:
+    """Eq. 17: refresh the per-claim accuracies from the posteriors.
+
+    ``"worker"`` granularity averages each worker's claim posteriors and
+    broadcasts the mean back to its claims; ``"task"`` keeps the
+    per-claim posterior.  The flat twin of
+    :func:`~repro.core.accuracy.update_accuracy_matrix`.
+    """
+    if granularity not in ("worker", "task"):
+        raise ValueError(
+            f"granularity must be one of ('worker', 'task'), got {granularity!r}"
+        )
+    posterior = group_post[arrays.claim_group]
+    if granularity == "task":
+        return posterior
+    n_workers = arrays.index.n_workers
+    sums = np.bincount(arrays.claim_worker, weights=posterior, minlength=n_workers)
+    counts = np.bincount(arrays.claim_worker, minlength=n_workers)
+    means = np.divide(
+        sums, counts, out=np.zeros(n_workers), where=counts > 0
+    )
+    return means[arrays.claim_worker]
+
+
+def support_flat(
+    arrays: ClaimArrays,
+    claim_acc: np.ndarray,
+    indep: np.ndarray,
+    *,
+    similarity=None,
+    similarity_weight: float = 0.0,
+) -> np.ndarray:
+    """Alg. 1 line 28: support count per value group, one segment sum.
+
+    The optional Sec. IV-A adjustment (Eq. 21) runs per task over the
+    group totals: a worker submits one value per task, so the "providers
+    of v' outside W_v" in the formula are simply all of W_v', and the
+    bonus is ``ρ · Σ sim(v, v') · sc_j(v')`` over the base counts.
+    """
+    if similarity is not None and not 0.0 <= similarity_weight <= 1.0:
+        raise ValueError(
+            f"similarity_weight must be in [0, 1], got {similarity_weight}"
+        )
+    base = np.bincount(
+        arrays.claim_group, weights=claim_acc * indep, minlength=arrays.n_groups
+    )
+    if similarity is None or similarity_weight == 0.0:
+        return base
+    adjusted = base.copy()
+    for j in range(arrays.index.n_tasks):
+        g0, g1 = int(arrays.task_group_ptr[j]), int(arrays.task_group_ptr[j + 1])
+        if g1 - g0 <= 1:
+            continue
+        values = arrays.group_values[g0:g1]
+        for gi in range(g0, g1):
+            bonus = 0.0
+            for gk in range(g0, g1):
+                if gk == gi:
+                    continue
+                sim = similarity(values[gi - g0], values[gk - g0])
+                if sim > 0.0:
+                    bonus += sim * base[gk]
+            adjusted[gi] = base[gi] + similarity_weight * bonus
+    return adjusted
+
+
+def select_truth_codes(arrays: ClaimArrays, group_support: np.ndarray) -> np.ndarray:
+    """Line 28's argmax: per-task winning value code (ties to smallest)."""
+    return segment_first_argmax_code(
+        group_support, arrays.group_task, arrays.group_code, arrays.task_group_ptr
+    )
+
+
+# -- conversions back to the string-keyed public structures --------------
+
+
+def dense_accuracy(arrays: ClaimArrays, claim_acc: np.ndarray) -> np.ndarray:
+    """Scatter the flat per-claim accuracies into the dense ``A`` matrix."""
+    index = arrays.index
+    matrix = np.zeros((index.n_workers, index.n_tasks), dtype=np.float64)
+    matrix[arrays.claim_worker, arrays.claim_task] = claim_acc
+    return matrix
+
+
+def posterior_table(
+    arrays: ClaimArrays, group_post: np.ndarray
+) -> list[dict[str, float]]:
+    """Per-group posteriors -> the scalar ``PosteriorTable`` shape."""
+    return _group_table(arrays, group_post)
+
+
+def support_table(
+    arrays: ClaimArrays, group_support: np.ndarray
+) -> list[dict[str, float]]:
+    """Per-group support -> the scalar ``SupportTable`` shape."""
+    return _group_table(arrays, group_support)
+
+
+def _group_table(arrays: ClaimArrays, values: np.ndarray) -> list[dict[str, float]]:
+    table: list[dict[str, float]] = []
+    ptr = arrays.task_group_ptr
+    for j in range(arrays.index.n_tasks):
+        g0, g1 = int(ptr[j]), int(ptr[j + 1])
+        table.append(
+            {arrays.group_values[g]: float(values[g]) for g in range(g0, g1)}
+        )
+    return table
+
+
+def dependence_table(
+    arrays: ClaimArrays, dependence: DependenceArrays
+) -> dict[tuple[int, int], DependencePosterior]:
+    """Pair arrays -> the scalar ``(a, b) -> DependencePosterior`` dict."""
+    return {
+        (int(a), int(b)): DependencePosterior(p_a_to_b=float(ab), p_b_to_a=float(ba))
+        for a, b, ab, ba in zip(
+            arrays.pair_a, arrays.pair_b, dependence.p_ab, dependence.p_ba
+        )
+    }
+
+
+def independence_table(
+    arrays: ClaimArrays, indep: np.ndarray
+) -> list[dict[str, dict[int, float]]]:
+    """Flat per-claim independence -> the scalar ``IndependenceTable``."""
+    table: list[dict[str, dict[int, float]]] = []
+    for j in range(arrays.index.n_tasks):
+        g0, g1 = int(arrays.task_group_ptr[j]), int(arrays.task_group_ptr[j + 1])
+        per_value: dict[str, dict[int, float]] = {}
+        for g in range(g0, g1):
+            c0, c1 = int(arrays.group_ptr[g]), int(arrays.group_ptr[g + 1])
+            per_value[arrays.group_values[g]] = {
+                int(arrays.claim_worker[c]): float(indep[c]) for c in range(c0, c1)
+            }
+        table.append(per_value)
+    return table

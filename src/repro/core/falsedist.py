@@ -27,6 +27,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from collections import Counter
+from weakref import WeakKeyDictionary
 
 import numpy as np
 
@@ -46,7 +47,20 @@ class FalseValueDistribution(ABC):
 
     Implementations may use the dataset index (for example to rank
     values by observed popularity) but must not use task ground truths.
+
+    The vectorized backend consumes the two batch views
+    :meth:`collision_array` and :meth:`value_probability_array`; their
+    defaults loop over the scalar methods and cache per dataset index,
+    so custom models work unmodified (and fast models override them
+    with closed forms).  Set :attr:`candidate_free` to ``True`` when
+    ``value_probability`` ignores both the value and the assumed truth
+    (as the uniform model does) to unlock the fully flat posterior
+    kernel.
     """
+
+    #: True when ``value_probability`` depends only on the task — i.e.
+    #: q(v | truth) is one number per task.
+    candidate_free = False
 
     def prepare(self, index: DatasetIndex) -> None:
         """Hook called once per DATE run before any queries.
@@ -54,6 +68,96 @@ class FalseValueDistribution(ABC):
         Models that derive their shape from the data (Zipf ranking,
         empirical fitting) compute their per-task tables here.
         """
+
+    def _array_cache(self, index: DatasetIndex) -> dict:
+        """Per-(model, index) cache for the batch views below.
+
+        Lives on the index's array view inside a ``WeakKeyDictionary``
+        keyed by the model, so a long-lived shared index does not pin
+        every model a sweep ever instantiated (each grid point's model
+        and its arrays are released when the model goes away).
+        """
+        caches = index.arrays.__dict__.setdefault(
+            "_falsedist_cache", WeakKeyDictionary()
+        )
+        return caches.setdefault(self, {})
+
+    def collision_array(self, index: DatasetIndex) -> np.ndarray:
+        """Per-task collision probabilities as one array (Eq. 22).
+
+        Collision probabilities are truth-independent, so the array is a
+        pure function of the dataset; it is computed once per index and
+        cached (the scalar kernels recompute the same values per call).
+        """
+        cache = self._array_cache(index)
+        if "collision" not in cache:
+            cache["collision"] = np.array(
+                [
+                    self.collision_probability(j, index)
+                    for j in range(index.n_tasks)
+                ],
+                dtype=np.float64,
+            )
+        return cache["collision"]
+
+    def value_probability_array(self, index: DatasetIndex) -> np.ndarray:
+        """Per-value-group false probabilities ``q_j(v)``, truth-free.
+
+        One entry per group of ``index.arrays`` (``assumed_truth=None``,
+        the query the discounted posterior makes), floored at the
+        likelihood clamp like the scalar kernel.  Cached per index.
+        """
+        cache = self._array_cache(index)
+        if "group_q" not in cache:
+            arrays = index.arrays
+            cache["group_q"] = np.maximum(
+                np.array(
+                    [
+                        self.value_probability(
+                            int(arrays.group_task[g]),
+                            index,
+                            arrays.group_values[g],
+                            None,
+                        )
+                        for g in range(arrays.n_groups)
+                    ],
+                    dtype=np.float64,
+                ),
+                1e-12,
+            )
+        return cache["group_q"]
+
+    def value_probability_matrices(self, index: DatasetIndex) -> list[np.ndarray]:
+        """Per-task ``K_j x K_j`` matrices ``Q[v, c] = q_j(v | c true)``.
+
+        Rows follow the task's value codes (observed values in sorted
+        order), columns the candidate truths in the same order.  These
+        are iteration-invariant, so the general (non candidate-free)
+        posterior kernel computes them once per index and reuses them
+        every iteration.
+        """
+        cache = self._array_cache(index)
+        if "q_matrices" not in cache:
+            arrays = index.arrays
+            matrices: list[np.ndarray] = []
+            for j in range(index.n_tasks):
+                g0 = int(arrays.task_group_ptr[j])
+                g1 = int(arrays.task_group_ptr[j + 1])
+                values = arrays.group_values[g0:g1]
+                matrices.append(
+                    np.array(
+                        [
+                            [
+                                self.value_probability(j, index, value, candidate)
+                                for candidate in values
+                            ]
+                            for value in values
+                        ],
+                        dtype=np.float64,
+                    )
+                )
+            cache["q_matrices"] = matrices
+        return cache["q_matrices"]
 
     @abstractmethod
     def collision_probability(self, task_index: int, index: DatasetIndex) -> float:
@@ -78,6 +182,15 @@ class FalseValueDistribution(ABC):
 
 class UniformFalseValues(FalseValueDistribution):
     """The paper's base assumption (Sec. II-B): all false values equally likely."""
+
+    candidate_free = True
+
+    def collision_array(self, index: DatasetIndex) -> np.ndarray:
+        return 1.0 / index.num_false.astype(np.float64)
+
+    def value_probability_array(self, index: DatasetIndex) -> np.ndarray:
+        arrays = index.arrays
+        return 1.0 / index.num_false.astype(np.float64)[arrays.group_task]
 
     def collision_probability(self, task_index: int, index: DatasetIndex) -> float:
         return 1.0 / float(index.num_false[task_index])

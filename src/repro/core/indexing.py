@@ -5,17 +5,25 @@ claims by task, value groups ``W_v^j``, the co-answering worker pairs,
 and each pair's shared tasks.  :class:`DatasetIndex` computes them once,
 mapping string ids to dense integer indexes so the hot paths work on
 ints and numpy arrays.
+
+:class:`ClaimArrays` (reachable as :attr:`DatasetIndex.arrays`) goes one
+step further: every claim value is replaced by a small per-task integer
+code and all per-claim, per-value-group and per-worker-pair structures
+are flattened into contiguous numpy arrays (CSR style).  The vectorized
+DATE backend (:mod:`repro.core.engine`) runs entirely on these arrays;
+see DESIGN.md §7 for the encoding.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from functools import cached_property
 
 import numpy as np
 
 from ..types import Dataset
 
-__all__ = ["DatasetIndex"]
+__all__ = ["ClaimArrays", "DatasetIndex"]
 
 
 class DatasetIndex:
@@ -138,11 +146,332 @@ class DatasetIndex:
             if not groups:
                 winners.append(None)
                 continue
-            best = max(groups.items(), key=lambda item: (len(item[1]), item[0]))
-            # max() with (count, value) prefers the lexicographically
-            # *largest* value on count ties; flip to smallest for a
-            # stable, documented rule.
-            best_count = len(best[1])
-            candidates = [v for v, ws in groups.items() if len(ws) == best_count]
-            winners.append(min(candidates))
+            # One pass: largest count wins, count ties go to the
+            # lexicographically smallest value.
+            best = min(groups.items(), key=lambda item: (-len(item[1]), item[0]))
+            winners.append(best[0])
         return winners
+
+    @cached_property
+    def arrays(self) -> "ClaimArrays":
+        """The integer-coded, flattened claim arrays for this dataset."""
+        return ClaimArrays(self)
+
+
+@dataclass(frozen=True, eq=False)
+class ClaimArrays:
+    """Integer-coded, CSR-flattened view of one dataset's claims.
+
+    Values are replaced by per-task integer *codes*: the distinct values
+    observed on task ``j`` are sorted lexicographically and numbered
+    ``0..K_j-1``, so the lexicographic tie-breaks used throughout the
+    scalar code become "smallest code" on the array side.
+
+    Claims are stored once, sorted by ``(task, code, worker)``.  That
+    single ordering makes three structures contiguous at the same time:
+
+    - tasks (``task_ptr`` slices claims per task),
+    - value groups ``W_v^j`` (``group_ptr`` slices claims per
+      (task, value) group; groups of one task are adjacent and ordered
+      by code),
+    - and, within a group, workers ascending (matching the sorted
+      tuples of :attr:`DatasetIndex.value_groups`).
+
+    The co-answering worker pairs are flattened the same way: one row
+    per (pair, shared task), grouped by pair via ``pair_ptr``, with
+    ``ps_claim_a``/``ps_claim_b`` pointing back into the claim arrays so
+    per-claim state (accuracy, codes) is a single gather away.
+    """
+
+    index: "DatasetIndex"
+
+    # -- claims, sorted by (task, code, worker) --------------------------
+    claim_task: np.ndarray = field(init=False)
+    claim_worker: np.ndarray = field(init=False)
+    claim_code: np.ndarray = field(init=False)
+    claim_group: np.ndarray = field(init=False)
+    task_ptr: np.ndarray = field(init=False)
+
+    # -- value groups, in (task, code) order -----------------------------
+    group_ptr: np.ndarray = field(init=False)
+    group_task: np.ndarray = field(init=False)
+    group_code: np.ndarray = field(init=False)
+    group_size: np.ndarray = field(init=False)
+    group_values: tuple[str, ...] = field(init=False)
+    task_group_ptr: np.ndarray = field(init=False)
+
+    # -- worker -> claim CSR ---------------------------------------------
+    worker_ptr: np.ndarray = field(init=False)
+    worker_claims: np.ndarray = field(init=False)
+
+    # The co-answering pair tables (pair_a, pair_b, pair_ptr, ps_*) are
+    # lazy cached properties: only the dependence kernels read them, and
+    # their O(Σ m_j²) size should not tax algorithms that never look
+    # (majority voting, NC).
+
+    def __post_init__(self) -> None:
+        index = self.index
+        n_tasks, n_workers = index.n_tasks, index.n_workers
+
+        claim_task: list[int] = []
+        claim_worker: list[int] = []
+        claim_code: list[int] = []
+        claim_group: list[int] = []
+        group_task: list[int] = []
+        group_code: list[int] = []
+        group_size: list[int] = []
+        group_values: list[str] = []
+        task_ptr = np.zeros(n_tasks + 1, dtype=np.int64)
+        task_group_ptr = np.zeros(n_tasks + 1, dtype=np.int64)
+        for j in range(n_tasks):
+            # value_groups[j] iterates values in sorted order; workers in
+            # each group are already sorted ascending.
+            for code, (value, workers) in enumerate(index.value_groups[j].items()):
+                group = len(group_task)
+                group_task.append(j)
+                group_code.append(code)
+                group_size.append(len(workers))
+                group_values.append(value)
+                for worker in workers:
+                    claim_task.append(j)
+                    claim_worker.append(worker)
+                    claim_code.append(code)
+                    claim_group.append(group)
+            task_ptr[j + 1] = len(claim_task)
+            task_group_ptr[j + 1] = len(group_task)
+
+        set_ = object.__setattr__
+        set_(self, "claim_task", np.asarray(claim_task, dtype=np.int64))
+        set_(self, "claim_worker", np.asarray(claim_worker, dtype=np.int64))
+        set_(self, "claim_code", np.asarray(claim_code, dtype=np.int64))
+        set_(self, "claim_group", np.asarray(claim_group, dtype=np.int64))
+        set_(self, "task_ptr", task_ptr)
+        set_(self, "group_task", np.asarray(group_task, dtype=np.int64))
+        set_(self, "group_code", np.asarray(group_code, dtype=np.int64))
+        set_(self, "group_size", np.asarray(group_size, dtype=np.int64))
+        set_(self, "group_values", tuple(group_values))
+        set_(self, "task_group_ptr", task_group_ptr)
+        group_ptr = np.zeros(len(group_task) + 1, dtype=np.int64)
+        np.cumsum(self.group_size, out=group_ptr[1:])
+        set_(self, "group_ptr", group_ptr)
+
+        # Worker -> claim CSR: claim indexes sorted by (worker, task).
+        order = np.lexsort((self.claim_task, self.claim_worker))
+        worker_ptr = np.zeros(n_workers + 1, dtype=np.int64)
+        np.cumsum(
+            np.bincount(self.claim_worker, minlength=n_workers), out=worker_ptr[1:]
+        )
+        set_(self, "worker_ptr", worker_ptr)
+        set_(self, "worker_claims", order)
+
+    @cached_property
+    def _pair_tables(self) -> tuple[np.ndarray, ...]:
+        """Pair tables: every unordered co-answering pair, one row per
+        shared task, grouped by pair and ordered by task within a pair
+        (mirroring :attr:`DatasetIndex.shared_tasks`).  Built on first
+        access — only the dependence kernels need them.
+        """
+        n_tasks = self.index.n_tasks
+        n_workers = self.index.n_workers
+        task_ptr = self.task_ptr
+        ca_parts: list[np.ndarray] = []
+        cb_parts: list[np.ndarray] = []
+        for j in range(n_tasks):
+            start, end = task_ptr[j], task_ptr[j + 1]
+            m = int(end - start)
+            if m < 2:
+                continue
+            local_a, local_b = np.triu_indices(m, k=1)
+            ca_parts.append(start + local_a)
+            cb_parts.append(start + local_b)
+        if not ca_parts:
+            empty = np.empty(0, dtype=np.int64)
+            return (
+                empty,
+                empty,
+                np.zeros(1, dtype=np.int64),
+                empty,
+                empty,
+                empty,
+                empty,
+            )
+        ca = np.concatenate(ca_parts)
+        cb = np.concatenate(cb_parts)
+        wa = self.claim_worker[ca]
+        wb = self.claim_worker[cb]
+        swap = wa > wb
+        ca2 = np.where(swap, cb, ca)
+        cb2 = np.where(swap, ca, cb)
+        wa2 = self.claim_worker[ca2]
+        wb2 = self.claim_worker[cb2]
+        tasks = self.claim_task[ca2]
+        order = np.lexsort((tasks, wb2, wa2))
+        wa2, wb2 = wa2[order], wb2[order]
+        key = wa2 * n_workers + wb2
+        uniq, first, counts = np.unique(key, return_index=True, return_counts=True)
+        pair_ptr = np.zeros(len(uniq) + 1, dtype=np.int64)
+        np.cumsum(counts, out=pair_ptr[1:])
+        return (
+            wa2[first],
+            wb2[first],
+            pair_ptr,
+            np.repeat(np.arange(len(uniq)), counts),
+            tasks[order],
+            ca2[order],
+            cb2[order],
+        )
+
+    @property
+    def pair_a(self) -> np.ndarray:
+        """First (smaller) worker of each co-answering pair."""
+        return self._pair_tables[0]
+
+    @property
+    def pair_b(self) -> np.ndarray:
+        """Second worker of each co-answering pair."""
+        return self._pair_tables[1]
+
+    @property
+    def pair_ptr(self) -> np.ndarray:
+        """CSR pointer slicing the ``ps_*`` rows per pair."""
+        return self._pair_tables[2]
+
+    @property
+    def ps_pair(self) -> np.ndarray:
+        """Pair index of each (pair, shared task) row."""
+        return self._pair_tables[3]
+
+    @property
+    def ps_task(self) -> np.ndarray:
+        """Task index of each (pair, shared task) row."""
+        return self._pair_tables[4]
+
+    @property
+    def ps_claim_a(self) -> np.ndarray:
+        """Claim position of ``pair_a``'s claim on the row's task."""
+        return self._pair_tables[5]
+
+    @property
+    def ps_claim_b(self) -> np.ndarray:
+        """Claim position of ``pair_b``'s claim on the row's task."""
+        return self._pair_tables[6]
+
+    # -- derived sizes ---------------------------------------------------
+
+    @property
+    def n_claims(self) -> int:
+        return len(self.claim_task)
+
+    @property
+    def n_groups(self) -> int:
+        return len(self.group_task)
+
+    @property
+    def n_pairs(self) -> int:
+        return len(self.pair_a)
+
+    @cached_property
+    def multi_groups(self) -> np.ndarray:
+        """Indexes of value groups with at least two providers.
+
+        Only these need the greedy dependence-discount ordering; groups
+        of one worker have independence probability 1 by definition.
+        """
+        return np.flatnonzero(self.group_size >= 2)
+
+    @cached_property
+    def multi_group_buckets(self) -> list[tuple[int, np.ndarray]]:
+        """Multi-provider groups bucketed by size: ``(m, claim_indexes)``.
+
+        ``claim_indexes`` is a ``(n_groups_of_size_m, m)`` matrix of
+        claim positions, so the greedy independence ordering can run
+        batched over every group of one size at once instead of looping
+        per group (the sequential part of Eq. 16 then costs one small
+        Python loop per *distinct group size*, not per group).
+        """
+        buckets: list[tuple[int, np.ndarray]] = []
+        multi = self.multi_groups
+        if len(multi) == 0:
+            return buckets
+        sizes = self.group_size[multi]
+        for m in np.unique(sizes):
+            groups = multi[sizes == m]
+            starts = self.group_ptr[groups]
+            buckets.append((int(m), starts[:, None] + np.arange(int(m))[None, :]))
+        return buckets
+
+    @cached_property
+    def code_lookup(self) -> list[dict[str, int]]:
+        """Per-task ``value -> code`` maps (for warm starts and tests)."""
+        lookup: list[dict[str, int]] = [dict() for _ in range(self.index.n_tasks)]
+        for g in range(self.n_groups):
+            lookup[int(self.group_task[g])][self.group_values[g]] = int(
+                self.group_code[g]
+            )
+        return lookup
+
+    # -- conversions between codes and values ----------------------------
+
+    def truth_values(self, truth_codes: np.ndarray) -> list[str | None]:
+        """Decode per-task truth codes (-1 = no claims) back to strings."""
+        out: list[str | None] = []
+        for j in range(self.index.n_tasks):
+            code = int(truth_codes[j])
+            if code < 0:
+                out.append(None)
+            else:
+                out.append(self.group_values[int(self.task_group_ptr[j]) + code])
+        return out
+
+    def truth_codes(self, truths: list[str | None]) -> np.ndarray:
+        """Encode per-task truth strings to codes (-1 for None/unknown)."""
+        codes = np.full(self.index.n_tasks, -1, dtype=np.int64)
+        lookup = self.code_lookup
+        for j, value in enumerate(truths):
+            if value is not None:
+                codes[j] = lookup[j].get(value, -1)
+        return codes
+
+    def majority_codes(self) -> np.ndarray:
+        """Per-task majority value code (ties to the smallest code).
+
+        The array twin of :meth:`DatasetIndex.majority_vote`: codes are
+        assigned in sorted value order, so "smallest code" is exactly
+        the documented lexicographic tie-break.
+        """
+        return segment_first_argmax_code(
+            self.group_size.astype(np.float64),
+            self.group_task,
+            self.group_code,
+            self.task_group_ptr,
+        )
+
+
+def segment_first_argmax_code(
+    values: np.ndarray,
+    group_task: np.ndarray,
+    group_code: np.ndarray,
+    task_group_ptr: np.ndarray,
+) -> np.ndarray:
+    """Per task, the code of the first group achieving the segment max.
+
+    ``values`` is one score per value group; groups of a task are
+    contiguous and ordered by code, so the first maximal group is the
+    lexicographically smallest winning value.  Tasks with no groups get
+    ``-1``.
+    """
+    n_tasks = len(task_group_ptr) - 1
+    out = np.full(n_tasks, -1, dtype=np.int64)
+    if len(values) == 0:
+        return out
+    starts = task_group_ptr[:-1]
+    nonempty = task_group_ptr[1:] > starts
+    # Groups tile the array, so reduceat over the starts of non-empty
+    # tasks reduces exactly one task's segment each.
+    seg_max = np.maximum.reduceat(values, starts[nonempty])
+    max_of_task = np.full(n_tasks, -np.inf)
+    max_of_task[nonempty] = seg_max
+    hit = np.flatnonzero(values == max_of_task[group_task])
+    tasks_hit, first = np.unique(group_task[hit], return_index=True)
+    out[tasks_hit] = group_code[hit[first]]
+    return out

@@ -10,9 +10,16 @@ Two scale presets parameterize every experiment:
   and therefore the qualitative shapes.
 
 :func:`truth_algorithms` builds fresh instances of the four
-truth-discovery competitors sharing one :class:`DateConfig`;
-:func:`auction_algorithms` does the same for the three auction
-competitors.
+truth-discovery competitors sharing one :class:`DateConfig` (including
+its ``backend`` selection — sweeps can pit the vectorized engine
+against the scalar reference);  :func:`auction_algorithms` does the
+same for the three auction competitors.
+
+Runners that evaluate several algorithms or hyperparameter points on
+the same dataset should build one :class:`~repro.core.DatasetIndex`
+per instance (``ExperimentConfig.indexed_datasets``) and pass it to
+every ``run`` call: the integer-coded claim arrays hanging off the
+index are immutable and shared by all of them.
 """
 
 from __future__ import annotations
@@ -132,7 +139,8 @@ def truth_algorithms(
     """Fresh instances of the Fig. 4/5 competitors, keyed by method name.
 
     ``include_ed=False`` skips the exponential ED baseline for runs
-    where its cost is not the point.
+    where its cost is not the point.  All four honour the shared
+    config's ``backend`` (MV is array-native either way).
     """
     algorithms: dict[str, Any] = {
         "MV": MajorityVote(),

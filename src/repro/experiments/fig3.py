@@ -37,7 +37,9 @@ def run_fig3a(
     across all (ε, α) points so differences are purely algorithmic.
     """
     config = base_config(scale, instances=instances, base_seed=base_seed)
-    datasets = config.datasets()
+    # One shared index per instance: the whole (ε, α) grid reuses the
+    # same claim arrays, only the hyperparameters change.
+    datasets = config.indexed_datasets()
 
     def point(epsilon: float) -> dict[str, float]:
         row: dict[str, float] = {}
@@ -51,7 +53,10 @@ def run_fig3a(
                 len(datasets),
                 lambda k: {
                     "precision": precision(
-                        DATE(date_config).run(datasets[k]), datasets[k]
+                        DATE(date_config).run(
+                            datasets[k][0], index=datasets[k][1]
+                        ),
+                        datasets[k][0],
                     )
                 },
             )
@@ -91,7 +96,8 @@ def run_fig3b(
     Fig. 3b.
     """
     config = base_config(scale, instances=instances, base_seed=base_seed)
-    datasets = config.datasets()
+    # Shared per-instance indexes across the whole r grid.
+    datasets = config.indexed_datasets()
 
     def point(r: float) -> dict[str, float]:
         date_config = config.date.evolve(copy_prob_r=r)
@@ -99,7 +105,8 @@ def run_fig3b(
             len(datasets),
             lambda k: {
                 "precision": precision(
-                    DATE(date_config).run(datasets[k]), datasets[k]
+                    DATE(date_config).run(datasets[k][0], index=datasets[k][1]),
+                    datasets[k][0],
                 )
             },
         )

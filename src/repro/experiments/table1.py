@@ -18,6 +18,7 @@ from __future__ import annotations
 from ..baselines import EnumerateDependence, MajorityVote, NoCopier
 from ..core.config import DateConfig
 from ..core.date import DATE
+from ..core.indexing import DatasetIndex
 from ..simulation.sweep import ExperimentResult
 from ..types import Dataset, Task, WorkerProfile
 
@@ -124,8 +125,9 @@ def run_table1(
     task_names = list(TABLE1_TRUTHS)
     series: dict[str, tuple[float, ...]] = {}
     estimates: dict[str, dict[str, str]] = {}
+    index = DatasetIndex(dataset)
     for name, algorithm in algorithms.items():
-        result = algorithm.run(dataset)
+        result = algorithm.run(dataset, index=index)
         estimates[name] = dict(result.truths)
         series[name] = tuple(
             1.0 if result.truths.get(task) == TABLE1_TRUTHS[task] else 0.0
