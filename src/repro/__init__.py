@@ -12,7 +12,10 @@ The package implements the paper's two-stage IMC2 mechanism end to end:
 - seeded synthetic datasets standing in for the paper's external data
   (:mod:`repro.datasets`);
 - a simulation + reporting harness and one runner per paper
-  table/figure (:mod:`repro.simulation`, :mod:`repro.experiments`).
+  table/figure (:mod:`repro.simulation`, :mod:`repro.experiments`);
+- a streaming ingestion + online truth-discovery service — claim
+  batches, incremental re-estimation, multi-campaign store, HTTP API
+  (:mod:`repro.streaming`, ``repro serve``).
 
 Quickstart::
 
@@ -62,6 +65,13 @@ from .errors import (
 )
 from .mechanism import IMC2, IMC2Outcome
 from .simulation import ExperimentConfig, ExperimentResult
+from .streaming import (
+    CampaignStore,
+    ClaimBatch,
+    OnlineDATE,
+    OnlineUpdate,
+    replay_batches,
+)
 from .types import Bid, Dataset, Task, WorkerProfile
 
 __version__ = "1.0.0"
@@ -69,6 +79,8 @@ __version__ = "1.0.0"
 __all__ = [
     "AuctionOutcome",
     "Bid",
+    "CampaignStore",
+    "ClaimBatch",
     "ConfigurationError",
     "ConvergenceWarning",
     "DATE",
@@ -87,6 +99,8 @@ __all__ = [
     "InfeasibleCoverageError",
     "MajorityVote",
     "NoCopier",
+    "OnlineDATE",
+    "OnlineUpdate",
     "PalmM515LikeSampler",
     "ReproError",
     "ReverseAuction",
@@ -102,6 +116,7 @@ __all__ = [
     "generate_world",
     "inject_copiers",
     "load_dataset",
+    "replay_batches",
     "save_dataset",
     "solve_optimal",
     "__version__",

@@ -11,14 +11,25 @@ Subcommands:
 - ``repro truth <dir> [--algorithm DATE|MV|NC|ED] [--r R] [--alpha A]``
   — run truth discovery on a CSV dataset and print the estimates;
 - ``repro auction <dir> [--cap F]`` — run the full IMC2 mechanism on a
-  CSV dataset and print winners and payments.
+  CSV dataset and print winners and payments;
+- ``repro serve [--host H] [--port P] [--refresh-every N]`` — run the
+  streaming truth-discovery HTTP service;
+- ``repro ingest <dir> [--batches N] [--url URL]`` — replay an archived
+  CSV campaign as a claim-batch stream, either through an in-process
+  online estimator or against a running ``repro serve`` instance.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
+import json
 import sys
+import time
+import urllib.error
+import urllib.request
 from pathlib import Path
+from urllib.parse import quote
 
 from .baselines import EnumerateDependence, MajorityVote, NoCopier
 from .core.config import DateConfig
@@ -30,6 +41,7 @@ from .mechanism.imc2 import IMC2
 from .reporting.export import write_csv, write_json
 from .reporting.figures import render_chart
 from .reporting.tables import format_table, render_result_table
+from .streaming import CampaignStore, OnlineDATE, batch_to_json, replay_batches, serve
 
 __all__ = ["main"]
 
@@ -117,6 +129,57 @@ def _build_parser() -> argparse.ArgumentParser:
         help="cap requirements at this fraction of available accuracy",
     )
     auction.add_argument("--r", type=float, default=0.4, help="assumed copy prob")
+
+    server = sub.add_parser(
+        "serve", help="run the streaming truth-discovery HTTP service"
+    )
+    server.add_argument("--host", default="127.0.0.1")
+    server.add_argument("--port", type=int, default=8080)
+    server.add_argument(
+        "--refresh-every",
+        type=int,
+        default=0,
+        help="full re-estimation every N ingested batches per campaign "
+        "(0 = only on explicit /refresh)",
+    )
+    server.add_argument(
+        "--max-campaigns",
+        type=int,
+        default=None,
+        help="evict the least recently used campaign beyond this count",
+    )
+    server.add_argument("--r", type=float, default=0.4, help="assumed copy prob")
+    server.add_argument("--alpha", type=float, default=0.2, help="dependence prior")
+    server.add_argument("--epsilon", type=float, default=0.5, help="initial accuracy")
+    server.add_argument("--quiet", action="store_true", help="suppress access logs")
+
+    ingest = sub.add_parser(
+        "ingest", help="replay a CSV campaign as a claim-batch stream"
+    )
+    ingest.add_argument("directory", type=Path, help="dataset directory")
+    ingest.add_argument(
+        "--batches", type=int, default=10, help="number of replay batches"
+    )
+    ingest.add_argument(
+        "--campaign",
+        default=None,
+        help="campaign id (default: the dataset directory name)",
+    )
+    ingest.add_argument(
+        "--url",
+        default=None,
+        help="base URL of a running 'repro serve' instance; when omitted "
+        "the replay runs through an in-process online estimator",
+    )
+    ingest.add_argument(
+        "--refresh-every",
+        type=int,
+        default=0,
+        help="periodic full refresh cadence during the replay",
+    )
+    ingest.add_argument("--r", type=float, default=0.4, help="assumed copy prob")
+    ingest.add_argument("--alpha", type=float, default=0.2, help="dependence prior")
+    ingest.add_argument("--epsilon", type=float, default=0.5, help="initial accuracy")
     return parser
 
 
@@ -206,6 +269,134 @@ def _cmd_auction(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    store = CampaignStore(
+        config=DateConfig(
+            copy_prob_r=args.r,
+            prior_alpha=args.alpha,
+            initial_accuracy=args.epsilon,
+        ),
+        refresh_every=args.refresh_every,
+        max_campaigns=args.max_campaigns,
+    )
+    serve(args.host, args.port, store=store, quiet=args.quiet)
+    return 0
+
+
+def _http_json(method: str, url: str, payload: dict | None = None) -> dict:
+    """One JSON request against a running service; raises SystemExit on
+    a non-2xx answer with the server's error message."""
+    data = json.dumps(payload).encode() if payload is not None else None
+    request = urllib.request.Request(
+        url, data=data, method=method, headers={"Content-Type": "application/json"}
+    )
+    try:
+        with urllib.request.urlopen(request) as response:
+            return json.loads(response.read())
+    except urllib.error.HTTPError as exc:
+        try:
+            detail = json.loads(exc.read()).get("error", "")
+        except Exception:
+            detail = ""
+        raise SystemExit(f"{method} {url} failed ({exc.code}): {detail}") from exc
+    except urllib.error.URLError as exc:
+        raise SystemExit(
+            f"{method} {url} failed: {exc.reason} (is 'repro serve' running?)"
+        ) from exc
+
+
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    dataset = load_dataset(args.directory)
+    batches = replay_batches(dataset, args.batches)
+    campaign_id = args.campaign or args.directory.name
+    where = ""
+
+    # Both replay modes share the loop below; they differ only in how a
+    # batch is applied and how the final estimate is obtained.
+    if args.url is None:
+        config = DateConfig(
+            copy_prob_r=args.r,
+            prior_alpha=args.alpha,
+            initial_accuracy=args.epsilon,
+        )
+        online = OnlineDATE(config, refresh_every=args.refresh_every)
+
+        def apply(batch) -> dict:
+            return dataclasses.asdict(online.ingest(batch))
+
+        def finalize(already_refreshed: bool):
+            if already_refreshed:
+                return online.snapshot().truths, None
+            final = online.refresh()
+            return final.truths, final.iterations
+
+    else:
+        base = args.url.rstrip("/")
+        encoded_id = quote(campaign_id, safe="")
+        where = f" on {base}"
+        _http_json(
+            "POST",
+            f"{base}/campaigns",
+            {
+                "campaign_id": campaign_id,
+                "refresh_every": args.refresh_every,
+                "config": {
+                    "r": args.r, "alpha": args.alpha, "epsilon": args.epsilon
+                },
+            },
+        )
+
+        def apply(batch) -> dict:
+            return _http_json(
+                "POST",
+                f"{base}/campaigns/{encoded_id}/claims",
+                batch_to_json(batch, include_truth=True),
+            )
+
+        def finalize(already_refreshed: bool):
+            if already_refreshed:
+                reply = _http_json(
+                    "GET", f"{base}/campaigns/{encoded_id}/truths"
+                )
+                return reply["truths"], None
+            reply = _http_json("POST", f"{base}/campaigns/{encoded_id}/refresh")
+            return reply["truths"], reply["iterations"]
+
+    rows = []
+    update: dict = {}
+    for batch in batches:
+        start = time.perf_counter()
+        update = apply(batch)
+        elapsed = (time.perf_counter() - start) * 1e3
+        rows.append(
+            [
+                update["batch"],
+                update["new_tasks"],
+                update["new_claims"],
+                update["dirty_tasks"],
+                update["iterations"],
+                f"{elapsed:.1f}",
+            ]
+        )
+    print(format_table(["batch", "tasks", "claims", "dirty", "iterations", "ms"], rows))
+    truths, refresh_iterations = finalize(bool(update.get("refreshed")))
+    note = (
+        "final batch included a full refresh"
+        if refresh_iterations is None
+        else f"final refresh: {refresh_iterations} iterations"
+    )
+    print(f"\ncampaign {campaign_id!r}{where}: {len(truths)} truths after "
+          f"{len(batches)} batches ({note})")
+    if args.url is None and dataset.truths:
+        hits = sum(
+            1 for task_id, truth in dataset.truths.items()
+            if truths.get(task_id) == truth
+        )
+        print(f"precision: {hits / len(dataset.truths):.4f} "
+              f"over {len(dataset.truths)} tasks")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
@@ -222,6 +413,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_truth(args)
     if args.command == "auction":
         return _cmd_auction(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "ingest":
+        return _cmd_ingest(args)
     if args.experiment == "all":
         for experiment in list_experiments():
             _run_one(experiment.experiment_id, args)

@@ -18,7 +18,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..core.config import DateConfig
 from ..core.date import DATE
 from ..core.indexing import DatasetIndex
 from ..simulation.config import ExperimentConfig

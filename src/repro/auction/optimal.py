@@ -15,7 +15,7 @@ from dataclasses import dataclass
 import numpy as np
 from scipy.optimize import Bounds, LinearConstraint, milp
 
-from ..errors import InfeasibleCoverageError, ReproError
+from ..errors import ReproError
 from .soac import SOACInstance
 
 __all__ = ["OptimalSolution", "solve_optimal"]

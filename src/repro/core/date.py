@@ -208,6 +208,7 @@ class DATE:
         *,
         index: DatasetIndex | None = None,
         warm_start: TruthDiscoveryResult | None = None,
+        lean: bool = False,
     ) -> TruthDiscoveryResult:
         """Execute Alg. 1 and return the full result bundle.
 
@@ -219,13 +220,20 @@ class DATE:
         reputations carry over.  Workers or tasks unknown to the warm
         start fall back to the cold-start defaults.
 
+        ``lean=True`` is an optimization hint for callers that only
+        consume truths, accuracies and confidence (the streaming
+        per-batch path): the vectorized backend then skips
+        materializing the string-keyed support, posterior and
+        dependence tables, leaving those result fields empty.  The
+        estimation itself is unchanged.
+
         ``config.backend`` selects the execution engine — the
         array-native vectorized kernels (default) or the scalar
         reference transcription; both produce the same result.
         """
         index = index or DatasetIndex(dataset)
         if self.config.backend == "vectorized":
-            return self._run_vectorized(index, warm_start)
+            return self._run_vectorized(index, warm_start, lean=lean)
         return self._run_reference(index, warm_start)
 
     def _run_reference(
@@ -318,6 +326,7 @@ class DATE:
         self,
         index: DatasetIndex,
         warm_start: TruthDiscoveryResult | None,
+        lean: bool = False,
     ) -> TruthDiscoveryResult:
         """Alg. 1 over the array kernels of :mod:`repro.core.engine`.
 
@@ -403,9 +412,31 @@ class DATE:
             state_key=lambda codes: codes.tobytes(),
             label="DATE",
         )
+        truths = arrays.truth_values(truth_codes)
+        if lean:
+            # Only the selected value's posterior survives (it feeds the
+            # result's confidence map); the full tables stay empty.
+            posteriors: list[dict[str, float]] = [{} for _ in truths]
+            if group_post is not None:
+                for j, value in enumerate(truths):
+                    if value is None:
+                        continue
+                    group = int(arrays.task_group_ptr[j]) + int(truth_codes[j])
+                    posteriors[j] = {value: float(group_post[group])}
+            return build_result(
+                index,
+                truths,
+                dense_accuracy(arrays, claim_acc),
+                posteriors,
+                [],
+                {},
+                iterations=iterations,
+                converged=converged,
+                method=self.method_name,
+            )
         return build_result(
             index,
-            arrays.truth_values(truth_codes),
+            truths,
             dense_accuracy(arrays, claim_acc),
             posterior_table(arrays, group_post) if group_post is not None else [],
             support_table(arrays, group_support)

@@ -28,7 +28,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from .dependence import DependencePosterior
-from .indexing import ClaimArrays, DatasetIndex, segment_first_argmax_code
+from .indexing import ClaimArrays, segment_first_argmax_code
 
 __all__ = [
     "DependenceArrays",

@@ -12,18 +12,27 @@ code and all per-claim, per-value-group and per-worker-pair structures
 are flattened into contiguous numpy arrays (CSR style).  The vectorized
 DATE backend (:mod:`repro.core.engine`) runs entirely on these arrays;
 see DESIGN.md §7 for the encoding.
+
+Streaming campaigns (:mod:`repro.streaming`) grow an existing index one
+claim batch at a time through :meth:`DatasetIndex.extended`: only the
+*dirty* tasks — those receiving new claims, plus appended tasks — are
+re-encoded, every clean CSR segment is spliced across with bulk numpy
+copies, and the old index stays valid (shared sub-structures are never
+mutated).  DESIGN.md §8 documents the dirty-task invariants.
 """
 
 from __future__ import annotations
 
+from collections.abc import Iterable, Mapping
 from dataclasses import dataclass, field
 from functools import cached_property
 
 import numpy as np
 
-from ..types import Dataset
+from ..errors import DataFormatError
+from ..types import Dataset, Task, WorkerProfile
 
-__all__ = ["ClaimArrays", "DatasetIndex"]
+__all__ = ["ClaimArrays", "DatasetIndex", "IndexExtension"]
 
 
 class DatasetIndex:
@@ -156,6 +165,215 @@ class DatasetIndex:
     def arrays(self) -> "ClaimArrays":
         """The integer-coded, flattened claim arrays for this dataset."""
         return ClaimArrays(self)
+
+    # ------------------------------------------------------------------
+    # Incremental extension (streaming append path)
+    # ------------------------------------------------------------------
+
+    def extended(
+        self,
+        *,
+        tasks: Iterable[Task] = (),
+        workers: Iterable[WorkerProfile] = (),
+        claims: Mapping[tuple[str, str], str] | None = None,
+    ) -> "IndexExtension":
+        """Return a new index with ``tasks``/``workers``/``claims`` appended.
+
+        Only the *delta* is validated and re-encoded: tasks receiving
+        new claims (plus appended tasks) are marked dirty and rebuilt;
+        every other per-task structure — claim dicts, value groups, CSR
+        segments of :attr:`arrays` — is shared or bulk-copied from this
+        index, so the cost is O(affected segments + memcpy), not a full
+        re-encode.  ``self`` is left untouched and remains valid.
+
+        Raises :class:`~repro.errors.DataFormatError` for ids that
+        collide with existing ones, claims referencing unknown tasks or
+        workers, out-of-domain values, and duplicate ``(worker, task)``
+        claims — the invariants streaming replay depends on.
+        """
+        tasks = tuple(tasks)
+        workers = tuple(workers)
+        claims = dict(claims or {})
+        self._validate_extension(tasks, workers, claims)
+
+        old_n_tasks, old_n_workers = self.n_tasks, self.n_workers
+        merged = dict(self.dataset.claims)
+        merged.update(claims)
+        dataset = _dataset_append(self.dataset, tasks, workers, merged)
+
+        new = object.__new__(DatasetIndex)
+        new.dataset = dataset
+        new.task_ids = self.task_ids + [t.task_id for t in tasks]
+        new.worker_ids = self.worker_ids + [w.worker_id for w in workers]
+        new.task_pos = dict(self.task_pos)
+        for offset, task in enumerate(tasks):
+            new.task_pos[task.task_id] = old_n_tasks + offset
+        new.worker_pos = dict(self.worker_pos)
+        for offset, worker in enumerate(workers):
+            new.worker_pos[worker.worker_id] = old_n_workers + offset
+
+        dirty_set = {new.task_pos[task_id] for (_, task_id) in claims}
+        dirty_set.update(range(old_n_tasks, len(new.task_ids)))
+        dirty = np.asarray(sorted(dirty_set), dtype=np.int64)
+
+        # Copy-on-write: dirty tasks (and touched workers) get fresh
+        # dicts; clean ones are shared with the old, read-only index.
+        by_task = list(self.claims_by_task) + [{} for _ in tasks]
+        for j in dirty_set:
+            if j < old_n_tasks:
+                by_task[j] = dict(by_task[j])
+        by_worker = list(self.claims_by_worker) + [{} for _ in workers]
+        for i in {new.worker_pos[worker_id] for (worker_id, _) in claims}:
+            if i < old_n_workers:
+                by_worker[i] = dict(by_worker[i])
+        for (worker_id, task_id), value in claims.items():
+            i, j = new.worker_pos[worker_id], new.task_pos[task_id]
+            by_task[j][i] = value
+            by_worker[i][j] = value
+        new.claims_by_task = by_task
+        new.claims_by_worker = by_worker
+
+        value_groups = list(self.value_groups) + [{} for _ in tasks]
+        for j in dirty:
+            groups: dict[str, list[int]] = {}
+            for i, value in by_task[int(j)].items():
+                groups.setdefault(value, []).append(i)
+            value_groups[int(j)] = {
+                v: tuple(sorted(ws)) for v, ws in sorted(groups.items())
+            }
+        new.value_groups = value_groups
+
+        num_false = np.empty(len(new.task_ids), dtype=np.int64)
+        num_false[:old_n_tasks] = self.num_false
+        for j in dirty:
+            task = dataset.tasks[int(j)]
+            num = task.num_false if task.domain else len(value_groups[int(j)]) - 1
+            num_false[int(j)] = max(num, 1)
+        new.num_false = num_false
+
+        claim_map = None
+        if "arrays" in self.__dict__:
+            arrays, claim_map = _extend_claim_arrays(
+                self.arrays, new, dirty, old_n_tasks
+            )
+            new.__dict__["arrays"] = arrays
+        return IndexExtension(
+            index=new,
+            dirty_tasks=dirty,
+            new_task_positions=np.arange(old_n_tasks, new.n_tasks, dtype=np.int64),
+            new_worker_positions=np.arange(
+                old_n_workers, new.n_workers, dtype=np.int64
+            ),
+            claim_map=claim_map,
+        )
+
+    def _validate_extension(
+        self,
+        tasks: tuple[Task, ...],
+        workers: tuple[WorkerProfile, ...],
+        claims: dict[tuple[str, str], str],
+    ) -> None:
+        """Check the delta against this index (old rows are known-valid)."""
+        new_task_by_id: dict[str, Task] = {}
+        for task in tasks:
+            if task.task_id in self.task_pos or task.task_id in new_task_by_id:
+                raise DataFormatError(
+                    f"extension re-adds existing task {task.task_id!r}"
+                )
+            new_task_by_id[task.task_id] = task
+        new_worker_ids: set[str] = set()
+        for worker in workers:
+            if worker.worker_id in self.worker_pos or worker.worker_id in new_worker_ids:
+                raise DataFormatError(
+                    f"extension re-adds existing worker {worker.worker_id!r}"
+                )
+            new_worker_ids.add(worker.worker_id)
+        for worker in workers:
+            for source in worker.sources:
+                if source not in self.worker_pos and source not in new_worker_ids:
+                    raise DataFormatError(
+                        f"worker {worker.worker_id} copies from unknown "
+                        f"worker {source!r}"
+                    )
+        for (worker_id, task_id), value in claims.items():
+            if worker_id not in self.worker_pos and worker_id not in new_worker_ids:
+                raise DataFormatError(
+                    f"claim references unknown worker {worker_id!r}"
+                )
+            task = new_task_by_id.get(task_id)
+            if task is None:
+                j = self.task_pos.get(task_id)
+                if j is None:
+                    raise DataFormatError(
+                        f"claim references unknown task {task_id!r}"
+                    )
+                task = self.dataset.tasks[j]
+                i = self.worker_pos.get(worker_id)
+                if i is not None and i in self.claims_by_task[j]:
+                    raise DataFormatError(
+                        f"duplicate claim: worker {worker_id!r} already "
+                        f"answered task {task_id!r}"
+                    )
+            if not isinstance(value, str) or not value:
+                raise DataFormatError(
+                    f"claim ({worker_id}, {task_id}): value must be a "
+                    "non-empty string"
+                )
+            if task.domain and value not in task.domain:
+                raise DataFormatError(
+                    f"claim ({worker_id}, {task_id}): value {value!r} "
+                    "not in the task's closed domain"
+                )
+
+
+@dataclass(frozen=True)
+class IndexExtension:
+    """Result of :meth:`DatasetIndex.extended`.
+
+    Attributes
+    ----------
+    index:
+        The extended index (the source index is untouched).
+    dirty_tasks:
+        Sorted task positions (in the *new* index) whose encodings were
+        rebuilt: tasks that received new claims plus appended tasks.
+        Task positions of pre-existing tasks are stable across
+        extensions, so these double as "affected segment" ids.
+    new_task_positions / new_worker_positions:
+        Positions of the appended tasks / workers in the new index.
+    claim_map:
+        ``old claim position -> new claim position`` into the extended
+        :class:`ClaimArrays`, for carrying per-claim state (for example
+        accuracies) across the extension.  ``None`` when the source
+        index never materialized its ``arrays`` (the new index then
+        encodes lazily from scratch on first use).
+    """
+
+    index: DatasetIndex
+    dirty_tasks: np.ndarray
+    new_task_positions: np.ndarray
+    new_worker_positions: np.ndarray
+    claim_map: np.ndarray | None
+
+
+def _dataset_append(
+    old: Dataset,
+    tasks: tuple[Task, ...],
+    workers: tuple[WorkerProfile, ...],
+    merged_claims: dict[tuple[str, str], str],
+) -> Dataset:
+    """Assemble the extended :class:`Dataset` without re-validation.
+
+    ``Dataset.__post_init__`` walks every claim; the caller has already
+    validated the delta against a known-valid dataset, so the extended
+    snapshot is assembled field-by-field to keep the append path
+    O(affected).
+    """
+    dataset = object.__new__(Dataset)
+    object.__setattr__(dataset, "tasks", old.tasks + tasks)
+    object.__setattr__(dataset, "workers", old.workers + workers)
+    object.__setattr__(dataset, "claims", merged_claims)
+    return dataset
 
 
 @dataclass(frozen=True, eq=False)
@@ -475,3 +693,220 @@ def segment_first_argmax_code(
     tasks_hit, first = np.unique(group_task[hit], return_index=True)
     out[tasks_hit] = group_code[hit[first]]
     return out
+
+
+# ----------------------------------------------------------------------
+# Incremental ClaimArrays extension
+# ----------------------------------------------------------------------
+
+
+def _concat_ranges(starts: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+    """Concatenated ``[arange(s, s + l) for s, l in zip(starts, lengths)]``.
+
+    The standard cumsum trick: one pass, no Python loop — this is what
+    keeps splicing the clean CSR segments a bulk copy.
+    """
+    lengths = np.asarray(lengths, dtype=np.int64)
+    nonempty = lengths > 0
+    starts = np.asarray(starts, dtype=np.int64)[nonempty]
+    lengths = lengths[nonempty]
+    total = int(lengths.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    out = np.ones(total, dtype=np.int64)
+    ends = np.cumsum(lengths)
+    out[0] = starts[0]
+    out[ends[:-1]] = starts[1:] - (starts[:-1] + lengths[:-1] - 1)
+    return np.cumsum(out)
+
+
+def _extend_claim_arrays(
+    old: ClaimArrays,
+    index: DatasetIndex,
+    dirty: np.ndarray,
+    old_n_tasks: int,
+) -> tuple[ClaimArrays, np.ndarray]:
+    """Splice ``old`` into arrays for the extended ``index``.
+
+    Dirty tasks are re-encoded from ``index.value_groups`` (the only
+    Python loop proportional to the batch); clean task segments move as
+    bulk gathers.  Task positions of pre-existing tasks are stable, so
+    a clean task's claims keep their ``(worker, code)`` rows and only
+    their global positions shift.  Returns the new arrays and the
+    ``old claim position -> new claim position`` map.
+    """
+    n_tasks, n_workers = index.n_tasks, index.n_workers
+    dirty_mask = np.zeros(n_tasks, dtype=bool)
+    dirty_mask[dirty] = True
+    clean = np.flatnonzero(~dirty_mask[:old_n_tasks])
+
+    old_claim_counts = old.task_ptr[1:] - old.task_ptr[:-1]
+    old_group_counts = old.task_group_ptr[1:] - old.task_group_ptr[:-1]
+    claim_counts = np.zeros(n_tasks, dtype=np.int64)
+    group_counts = np.zeros(n_tasks, dtype=np.int64)
+    claim_counts[:old_n_tasks] = old_claim_counts
+    group_counts[:old_n_tasks] = old_group_counts
+
+    # Fresh encodings for the dirty tasks only.
+    d_workers: dict[int, np.ndarray] = {}
+    d_codes: dict[int, np.ndarray] = {}
+    d_sizes: dict[int, list[int]] = {}
+    d_values: dict[int, list[str]] = {}
+    for j in map(int, dirty):
+        workers_flat: list[int] = []
+        codes_flat: list[int] = []
+        sizes: list[int] = []
+        values: list[str] = []
+        for code, (value, members) in enumerate(index.value_groups[j].items()):
+            sizes.append(len(members))
+            values.append(value)
+            workers_flat.extend(members)
+            codes_flat.extend([code] * len(members))
+        d_workers[j] = np.asarray(workers_flat, dtype=np.int64)
+        d_codes[j] = np.asarray(codes_flat, dtype=np.int64)
+        d_sizes[j] = sizes
+        d_values[j] = values
+        claim_counts[j] = len(workers_flat)
+        group_counts[j] = len(sizes)
+
+    task_ptr = np.zeros(n_tasks + 1, dtype=np.int64)
+    np.cumsum(claim_counts, out=task_ptr[1:])
+    task_group_ptr = np.zeros(n_tasks + 1, dtype=np.int64)
+    np.cumsum(group_counts, out=task_group_ptr[1:])
+    n_claims = int(task_ptr[-1])
+    n_groups = int(task_group_ptr[-1])
+
+    claim_task = np.repeat(np.arange(n_tasks, dtype=np.int64), claim_counts)
+    claim_worker = np.empty(n_claims, dtype=np.int64)
+    claim_code = np.empty(n_claims, dtype=np.int64)
+    group_size = np.empty(n_groups, dtype=np.int64)
+    group_values = np.empty(n_groups, dtype=object)
+
+    # Clean segments: bulk gather from the old arrays.
+    src = _concat_ranges(old.task_ptr[clean], old_claim_counts[clean])
+    dst = _concat_ranges(task_ptr[clean], old_claim_counts[clean])
+    claim_worker[dst] = old.claim_worker[src]
+    claim_code[dst] = old.claim_code[src]
+    gsrc = _concat_ranges(old.task_group_ptr[clean], old_group_counts[clean])
+    gdst = _concat_ranges(task_group_ptr[clean], old_group_counts[clean])
+    group_size[gdst] = old.group_size[gsrc]
+    group_values[gdst] = np.asarray(old.group_values, dtype=object)[gsrc]
+
+    # Dirty segments, and the old->new claim position map.
+    claim_map = np.empty(old.n_claims, dtype=np.int64)
+    claim_map[src] = dst
+    for j in map(int, dirty):
+        c0 = int(task_ptr[j])
+        claim_worker[c0 : c0 + len(d_workers[j])] = d_workers[j]
+        claim_code[c0 : c0 + len(d_codes[j])] = d_codes[j]
+        g0 = int(task_group_ptr[j])
+        group_size[g0 : g0 + len(d_sizes[j])] = d_sizes[j]
+        group_values[g0 : g0 + len(d_values[j])] = d_values[j]
+        if j < old_n_tasks:
+            position = {int(w): c0 + k for k, w in enumerate(d_workers[j])}
+            for c in range(int(old.task_ptr[j]), int(old.task_ptr[j + 1])):
+                claim_map[c] = position[int(old.claim_worker[c])]
+
+    # In (task, code, worker) order, group index = task group start +
+    # code (codes are consecutive 0..K_j-1), so the remaining structures
+    # are pure arithmetic on what's already spliced.
+    claim_group = task_group_ptr[claim_task] + claim_code
+    group_task = np.repeat(np.arange(n_tasks, dtype=np.int64), group_counts)
+    group_code = np.arange(n_groups, dtype=np.int64) - task_group_ptr[group_task]
+    group_ptr = np.zeros(n_groups + 1, dtype=np.int64)
+    np.cumsum(group_size, out=group_ptr[1:])
+
+    order = np.lexsort((claim_task, claim_worker))
+    worker_ptr = np.zeros(n_workers + 1, dtype=np.int64)
+    np.cumsum(np.bincount(claim_worker, minlength=n_workers), out=worker_ptr[1:])
+
+    arrays = object.__new__(ClaimArrays)
+    set_ = object.__setattr__
+    set_(arrays, "index", index)
+    set_(arrays, "claim_task", claim_task)
+    set_(arrays, "claim_worker", claim_worker)
+    set_(arrays, "claim_code", claim_code)
+    set_(arrays, "claim_group", claim_group)
+    set_(arrays, "task_ptr", task_ptr)
+    set_(arrays, "group_ptr", group_ptr)
+    set_(arrays, "group_task", group_task)
+    set_(arrays, "group_code", group_code)
+    set_(arrays, "group_size", group_size)
+    set_(arrays, "group_values", tuple(group_values))
+    set_(arrays, "task_group_ptr", task_group_ptr)
+    set_(arrays, "worker_ptr", worker_ptr)
+    set_(arrays, "worker_claims", order)
+
+    if "_pair_tables" in old.__dict__:
+        arrays.__dict__["_pair_tables"] = _extend_pair_tables(
+            old, arrays, dirty, dirty_mask, claim_map
+        )
+    return arrays, claim_map
+
+
+def _extend_pair_tables(
+    old: ClaimArrays,
+    arrays: ClaimArrays,
+    dirty: np.ndarray,
+    dirty_mask: np.ndarray,
+    claim_map: np.ndarray,
+) -> tuple[np.ndarray, ...]:
+    """Extend materialized pair tables: keep clean-task rows, regenerate
+    dirty-task rows, merge by one lexsort.
+
+    Rows of clean tasks keep their worker pair and task; only their
+    claim back-pointers shift (via ``claim_map``).  Rows of dirty tasks
+    are re-enumerated from the new segments — the O(Σ m_j²) triangle
+    work runs over affected tasks only.
+    """
+    _, _, _, old_ps_pair, old_ps_task, old_ps_ca, old_ps_cb = old._pair_tables
+    keep = ~dirty_mask[old_ps_task]
+    wa_parts = [old.claim_worker[old_ps_ca[keep]]]
+    wb_parts = [old.claim_worker[old_ps_cb[keep]]]
+    task_parts = [old_ps_task[keep]]
+    ca_parts = [claim_map[old_ps_ca[keep]]]
+    cb_parts = [claim_map[old_ps_cb[keep]]]
+
+    task_ptr = arrays.task_ptr
+    for j in map(int, dirty):
+        start, end = int(task_ptr[j]), int(task_ptr[j + 1])
+        m = end - start
+        if m < 2:
+            continue
+        local_a, local_b = np.triu_indices(m, k=1)
+        ca = start + local_a
+        cb = start + local_b
+        wa = arrays.claim_worker[ca]
+        wb = arrays.claim_worker[cb]
+        swap = wa > wb
+        ca2 = np.where(swap, cb, ca)
+        cb2 = np.where(swap, ca, cb)
+        wa_parts.append(arrays.claim_worker[ca2])
+        wb_parts.append(arrays.claim_worker[cb2])
+        task_parts.append(np.full(len(ca2), j, dtype=np.int64))
+        ca_parts.append(ca2)
+        cb_parts.append(cb2)
+
+    wa = np.concatenate(wa_parts)
+    if len(wa) == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return (empty, empty, np.zeros(1, dtype=np.int64), empty, empty, empty, empty)
+    wb = np.concatenate(wb_parts)
+    tasks = np.concatenate(task_parts)
+    ca = np.concatenate(ca_parts)
+    cb = np.concatenate(cb_parts)
+    order = np.lexsort((tasks, wb, wa))
+    wa, wb = wa[order], wb[order]
+    key = wa * arrays.index.n_workers + wb
+    uniq, first, counts = np.unique(key, return_index=True, return_counts=True)
+    pair_ptr = np.zeros(len(uniq) + 1, dtype=np.int64)
+    np.cumsum(counts, out=pair_ptr[1:])
+    return (
+        wa[first],
+        wb[first],
+        pair_ptr,
+        np.repeat(np.arange(len(uniq)), counts),
+        tasks[order],
+        ca[order],
+        cb[order],
+    )

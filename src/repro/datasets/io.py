@@ -126,8 +126,16 @@ def load_dataset(directory: str | Path) -> Dataset:
                 copy_prob=float(row["copy_prob"]),
             )
         )
-    claims = {
-        (row["worker_id"], row["task_id"]): row["value"]
-        for row in _read_rows(directory / "claims.csv", _CLAIM_FIELDS)
-    }
+    claims: dict[tuple[str, str], str] = {}
+    for row in _read_rows(directory / "claims.csv", _CLAIM_FIELDS):
+        key = (row["worker_id"], row["task_id"])
+        if key in claims:
+            # A worker submits at most one value per task; silently
+            # keeping the last row would make streaming replay
+            # (repro.streaming) non-deterministic on corrupt archives.
+            raise DataFormatError(
+                f"claims.csv: duplicate claim for worker {key[0]!r} "
+                f"on task {key[1]!r}"
+            )
+        claims[key] = row["value"]
     return Dataset(tasks=tuple(tasks), workers=tuple(workers), claims=claims)

@@ -1,0 +1,45 @@
+"""Streaming ingestion and online truth discovery.
+
+The serving layer of the reproduction: claims arrive in
+:class:`ClaimBatch` deltas, :class:`OnlineDATE` keeps a campaign's
+truths and worker reputations current at O(affected segments) per
+batch (with periodic full refreshes for exactness), a
+:class:`CampaignStore` multiplexes many concurrent campaigns in one
+process, and :mod:`repro.streaming.server` exposes the whole thing as
+a stdlib HTTP/JSON API (``repro serve``).  See DESIGN.md §8.
+"""
+
+from .campaign import (
+    Campaign,
+    CampaignStore,
+    DuplicateCampaignError,
+    UnknownCampaignError,
+)
+from .ingest import (
+    ClaimBatch,
+    batch_from_json,
+    batch_to_json,
+    replay_batches,
+    task_from_spec,
+    worker_from_spec,
+)
+from .online import OnlineDATE, OnlineUpdate
+from .server import StreamingApp, make_server, serve
+
+__all__ = [
+    "Campaign",
+    "CampaignStore",
+    "ClaimBatch",
+    "DuplicateCampaignError",
+    "OnlineDATE",
+    "OnlineUpdate",
+    "StreamingApp",
+    "UnknownCampaignError",
+    "batch_from_json",
+    "batch_to_json",
+    "make_server",
+    "replay_batches",
+    "serve",
+    "task_from_spec",
+    "worker_from_spec",
+]

@@ -1,0 +1,269 @@
+"""Multi-campaign store: many concurrent online campaigns, one process.
+
+:class:`CampaignStore` is the state backing the HTTP service — a
+thread-safe map of campaign id to :class:`~repro.streaming.online.
+OnlineDATE` with the operations the API exposes: create, ingest,
+estimate (snapshot or full refresh), snapshot-as-JSON, auction, evict.
+An optional capacity bound evicts the least-recently-used campaign so
+one process can serve an unbounded campaign churn with bounded memory.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from collections.abc import Iterable
+
+from ..core.config import DateConfig
+from ..core.date import TruthDiscoveryResult
+from ..errors import ConfigurationError, ReproError
+from ..mechanism.imc2 import IMC2, IMC2Outcome
+from ..types import Task, WorkerProfile
+from .ingest import ClaimBatch
+from .online import OnlineDATE, OnlineUpdate
+
+__all__ = [
+    "Campaign",
+    "CampaignStore",
+    "DuplicateCampaignError",
+    "UnknownCampaignError",
+]
+
+
+class UnknownCampaignError(ReproError, KeyError):
+    """A campaign id is not present in the store."""
+
+    def __init__(self, campaign_id: str):
+        self.campaign_id = campaign_id
+        super().__init__(f"unknown campaign {campaign_id!r}")
+
+
+class DuplicateCampaignError(ReproError, ValueError):
+    """A campaign id is already present in the store."""
+
+    def __init__(self, campaign_id: str):
+        self.campaign_id = campaign_id
+        super().__init__(f"campaign {campaign_id!r} already exists")
+
+
+class _SnapshotTruth:
+    """Adapter handing a precomputed stage-1 result to IMC2."""
+
+    def __init__(self, result: TruthDiscoveryResult):
+        self._result = result
+
+    def run(self, dataset, index=None) -> TruthDiscoveryResult:
+        return self._result
+
+
+class Campaign:
+    """One live campaign: an online estimator plus bookkeeping.
+
+    ``lock`` serializes all estimator access for this campaign only, so
+    a long refresh on one campaign never blocks traffic to another; the
+    store's own lock guards nothing but the campaign map.
+    """
+
+    def __init__(self, campaign_id: str, online: OnlineDATE):
+        self.campaign_id = campaign_id
+        self.online = online
+        self.lock = threading.RLock()
+        self.created_at = time.time()
+        self.last_update = self.created_at
+        self.claims_ingested = 0
+
+    def describe(self) -> dict:
+        """JSON-safe summary (sizes and counters, no estimates)."""
+        dataset = self.online.dataset
+        return {
+            "campaign_id": self.campaign_id,
+            "tasks": dataset.n_tasks,
+            "workers": dataset.n_workers,
+            "claims": dataset.n_claims,
+            "batches": self.online.n_batches,
+            "created_at": self.created_at,
+            "last_update": self.last_update,
+        }
+
+
+class CampaignStore:
+    """Thread-safe map of live campaigns with LRU capacity eviction.
+
+    Locking is two-level: the store lock guards only the campaign map
+    (membership, LRU order), while each campaign carries its own lock
+    held for estimator work — so a slow refresh or auction on one
+    campaign never stalls requests to the others.  An eviction racing
+    an in-flight operation lets that operation finish on the orphaned
+    campaign object; the store simply stops handing it out.
+
+    Parameters
+    ----------
+    config:
+        Default DATE hyperparameters for campaigns created without an
+        explicit config.
+    refresh_every:
+        Default periodic-refresh cadence for new campaigns (0 = only
+        explicit refreshes).
+    max_campaigns:
+        When set, creating a campaign beyond this count evicts the
+        least recently touched one.
+    """
+
+    def __init__(
+        self,
+        *,
+        config: DateConfig | None = None,
+        refresh_every: int = 0,
+        max_campaigns: int | None = None,
+    ):
+        if max_campaigns is not None and max_campaigns < 1:
+            raise ConfigurationError(
+                f"max_campaigns must be >= 1, got {max_campaigns}"
+            )
+        self.default_config = config or DateConfig()
+        self.default_refresh_every = refresh_every
+        self.max_campaigns = max_campaigns
+        self._campaigns: OrderedDict[str, Campaign] = OrderedDict()
+        self._lock = threading.RLock()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._campaigns)
+
+    def __contains__(self, campaign_id: str) -> bool:
+        with self._lock:
+            return campaign_id in self._campaigns
+
+    def _get(self, campaign_id: str) -> Campaign:
+        campaign = self._campaigns.get(campaign_id)
+        if campaign is None:
+            raise UnknownCampaignError(campaign_id)
+        self._campaigns.move_to_end(campaign_id)
+        return campaign
+
+    # -- operations ------------------------------------------------------
+
+    def create(
+        self,
+        campaign_id: str,
+        *,
+        tasks: Iterable[Task] = (),
+        workers: Iterable[WorkerProfile] = (),
+        config: DateConfig | None = None,
+        refresh_every: int | None = None,
+    ) -> Campaign:
+        """Register a new campaign, optionally pre-publishing tasks."""
+        if not campaign_id:
+            raise ConfigurationError("campaign_id must be a non-empty string")
+        with self._lock:
+            if campaign_id in self._campaigns:
+                raise DuplicateCampaignError(campaign_id)
+        # Seed outside the store lock: pre-publishing a large task set
+        # must not stall requests to other campaigns.  Two racing
+        # creates of the same id both seed; the second insert loses.
+        online = OnlineDATE(
+            config or self.default_config,
+            refresh_every=(
+                self.default_refresh_every
+                if refresh_every is None
+                else refresh_every
+            ),
+        )
+        campaign = Campaign(campaign_id, online)
+        tasks = tuple(tasks)
+        workers = tuple(workers)
+        if tasks or workers:
+            online.ingest(ClaimBatch(tasks=tasks, workers=workers))
+        with self._lock:
+            if campaign_id in self._campaigns:
+                raise DuplicateCampaignError(campaign_id)
+            self._campaigns[campaign_id] = campaign
+            while (
+                self.max_campaigns is not None
+                and len(self._campaigns) > self.max_campaigns
+            ):
+                self._campaigns.popitem(last=False)
+            return campaign
+
+    def get(self, campaign_id: str) -> Campaign:
+        with self._lock:
+            return self._get(campaign_id)
+
+    def ingest(self, campaign_id: str, batch: ClaimBatch) -> OnlineUpdate:
+        """Apply a claim batch to one campaign."""
+        campaign = self.get(campaign_id)
+        with campaign.lock:
+            update = campaign.online.ingest(batch)
+            campaign.claims_ingested += batch.n_claims
+            campaign.last_update = time.time()
+            return update
+
+    def estimate(
+        self, campaign_id: str, *, refresh: bool = False
+    ) -> TruthDiscoveryResult:
+        """Current estimate; ``refresh=True`` forces a full re-run."""
+        campaign = self.get(campaign_id)
+        with campaign.lock:
+            if refresh:
+                result = campaign.online.refresh()
+                campaign.last_update = time.time()
+                return result
+            return campaign.online.snapshot()
+
+    def truths(self, campaign_id: str) -> dict:
+        """Current truths + confidence of one campaign (locked read)."""
+        campaign = self.get(campaign_id)
+        with campaign.lock:
+            return {
+                "truths": campaign.online.truths,
+                "confidence": campaign.online.confidence,
+            }
+
+    def worker_accuracy(self, campaign_id: str) -> dict[str, float]:
+        """Current worker reputations of one campaign (locked read)."""
+        campaign = self.get(campaign_id)
+        with campaign.lock:
+            return campaign.online.worker_accuracy
+
+    def auction(
+        self, campaign_id: str, *, requirement_cap: float | None = None
+    ) -> IMC2Outcome:
+        """Run the IMC2 mechanism on a campaign's accumulated data.
+
+        Stage 1 reuses a fresh full refresh (so the auction prices
+        exact, not incrementally approximated, accuracies); stage 2 is
+        the standard reverse auction over truthful bids.
+        """
+        campaign = self.get(campaign_id)
+        with campaign.lock:
+            truth = campaign.online.refresh()
+            campaign.last_update = time.time()
+            mechanism = IMC2(
+                truth_algorithm=_SnapshotTruth(truth),
+                requirement_cap=requirement_cap,
+            )
+            return mechanism.run(campaign.online.dataset)
+
+    def snapshot(self, campaign_id: str) -> dict:
+        """JSON-safe campaign state: summary + estimates + reputations."""
+        campaign = self.get(campaign_id)
+        with campaign.lock:
+            online = campaign.online
+            return {
+                **campaign.describe(),
+                "truths": online.truths,
+                "confidence": online.confidence,
+                "worker_accuracy": online.worker_accuracy,
+            }
+
+    def evict(self, campaign_id: str) -> None:
+        """Drop a campaign (raises if unknown)."""
+        with self._lock:
+            if self._campaigns.pop(campaign_id, None) is None:
+                raise UnknownCampaignError(campaign_id)
+
+    def list_campaigns(self) -> list[dict]:
+        """Summaries of all live campaigns, least recently used first."""
+        with self._lock:
+            return [c.describe() for c in self._campaigns.values()]

@@ -1,0 +1,242 @@
+"""Stdlib HTTP/JSON front end for the streaming truth-discovery service.
+
+``repro serve`` binds :class:`StreamingApp` — a transport-free request
+dispatcher over a :class:`~repro.streaming.campaign.CampaignStore` — to
+a ``ThreadingHTTPServer``.  Keeping the dispatcher free of socket code
+means the whole API surface is unit-testable as plain function calls,
+and the handler class only parses/serializes JSON.
+
+Routes (all bodies JSON):
+
+- ``GET  /health`` — liveness + campaign count;
+- ``GET  /campaigns`` — list campaign summaries;
+- ``POST /campaigns`` — create: ``{"campaign_id": ..., "tasks": [...],
+  "workers": [...], "config": {...}, "refresh_every": N}``;
+- ``GET  /campaigns/<id>`` — summary + current estimates;
+- ``DELETE /campaigns/<id>`` — evict;
+- ``POST /campaigns/<id>/claims`` — ingest a claim batch
+  (``{"tasks": [...], "workers": [...], "claims": [{"worker": ...,
+  "task": ..., "value": ...}]}``);
+- ``GET  /campaigns/<id>/truths`` — current truths + confidence;
+- ``GET  /campaigns/<id>/workers`` — worker reputations;
+- ``POST /campaigns/<id>/refresh`` — force a full re-estimation;
+- ``POST /campaigns/<id>/auction`` — run IMC2 (``{"cap": 0.8}``).
+
+Errors map onto status codes: malformed input and infeasible auctions
+are 400, unknown campaigns/routes 404, duplicate campaigns 409.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import unquote
+
+from ..core.config import DateConfig
+from ..errors import ReproError
+from .campaign import CampaignStore, DuplicateCampaignError, UnknownCampaignError
+from .ingest import batch_from_json, coerce_number, task_from_spec, worker_from_spec
+
+__all__ = ["StreamingApp", "config_from_spec", "make_server", "serve"]
+
+#: Short aliases accepted in JSON config objects next to the full
+#: DateConfig field names (matching the CLI flags).
+_CONFIG_ALIASES = {
+    "r": "copy_prob_r",
+    "alpha": "prior_alpha",
+    "epsilon": "initial_accuracy",
+}
+
+
+def config_from_spec(spec: dict | None, base: DateConfig) -> DateConfig:
+    """Evolve ``base`` with the JSON config object ``spec``."""
+    if not spec:
+        return base
+    if not isinstance(spec, dict):
+        raise ReproError(f"config must be a JSON object, got {spec!r}")
+    changes = {}
+    for key, value in spec.items():
+        field_name = _CONFIG_ALIASES.get(key, key)
+        if field_name == "accuracy_clamp" and isinstance(value, list):
+            value = tuple(value)
+        changes[field_name] = value
+    try:
+        return base.evolve(**changes)
+    except TypeError as exc:
+        # Unknown field names and non-numeric values both land here.
+        raise ReproError(f"invalid config: {exc}") from exc
+
+
+class StreamingApp:
+    """Transport-free dispatcher: ``(method, path, payload) -> (status, body)``."""
+
+    def __init__(self, store: CampaignStore | None = None):
+        self.store = store or CampaignStore()
+
+    def handle(self, method: str, path: str, payload: dict | None = None):
+        """Dispatch one request; returns ``(status_code, json_body)``.
+
+        The path is split on ``/`` with the query string dropped and
+        each segment percent-decoded, so campaign ids round-trip
+        through clients that quote them.
+        """
+        path = path.partition("?")[0]
+        parts = [unquote(part) for part in path.split("/") if part]
+        if payload is not None and not isinstance(payload, dict):
+            return 400, {"error": "request body must be a JSON object"}
+        try:
+            return self._route(method.upper(), parts, payload or {})
+        except UnknownCampaignError as exc:
+            return 404, {"error": str(exc.args[0] if exc.args else exc)}
+        except DuplicateCampaignError as exc:
+            return 409, {"error": str(exc)}
+        except ReproError as exc:
+            return 400, {"error": str(exc)}
+
+    def _route(self, method: str, parts: list[str], payload: dict):
+        if parts in ([], ["health"]) and method == "GET":
+            from .. import __version__  # deferred: repro/__init__ imports us
+
+            return 200, {
+                "status": "ok",
+                "version": __version__,
+                "campaigns": len(self.store),
+            }
+        if parts == ["campaigns"]:
+            if method == "GET":
+                return 200, {"campaigns": self.store.list_campaigns()}
+            if method == "POST":
+                return self._create(payload)
+        if len(parts) >= 2 and parts[0] == "campaigns":
+            campaign_id = parts[1]
+            rest = parts[2:]
+            if not rest:
+                if method == "GET":
+                    return 200, self.store.snapshot(campaign_id)
+                if method == "DELETE":
+                    self.store.evict(campaign_id)
+                    return 200, {"evicted": campaign_id}
+            if rest == ["claims"] and method == "POST":
+                return self._ingest(campaign_id, payload)
+            if rest == ["truths"] and method == "GET":
+                return 200, self.store.truths(campaign_id)
+            if rest == ["workers"] and method == "GET":
+                return 200, {
+                    "worker_accuracy": self.store.worker_accuracy(campaign_id)
+                }
+            if rest == ["refresh"] and method == "POST":
+                result = self.store.estimate(campaign_id, refresh=True)
+                return 200, {
+                    "truths": result.truths,
+                    "iterations": result.iterations,
+                    "converged": result.converged,
+                }
+            if rest == ["auction"] and method == "POST":
+                return self._auction(campaign_id, payload)
+        return 404, {"error": f"no route for {method} /{'/'.join(parts)}"}
+
+    def _create(self, payload: dict):
+        if not isinstance(payload, dict) or not payload.get("campaign_id"):
+            return 400, {"error": "create payload must carry a campaign_id"}
+        refresh_every = payload.get("refresh_every")
+        if refresh_every is not None:
+            refresh_every = int(coerce_number(payload, "refresh_every", 0))
+        campaign = self.store.create(
+            str(payload["campaign_id"]),
+            tasks=tuple(task_from_spec(s) for s in payload.get("tasks", ())),
+            workers=tuple(worker_from_spec(s) for s in payload.get("workers", ())),
+            config=config_from_spec(
+                payload.get("config"), self.store.default_config
+            ),
+            refresh_every=refresh_every,
+        )
+        return 201, campaign.describe()
+
+    def _ingest(self, campaign_id: str, payload: dict):
+        batch = batch_from_json(payload)
+        update = self.store.ingest(campaign_id, batch)
+        return 200, asdict(update)
+
+    def _auction(self, campaign_id: str, payload: dict):
+        cap = None
+        if payload.get("cap") is not None:
+            cap = coerce_number(payload, "cap", 0.0)
+        outcome = self.store.auction(campaign_id, requirement_cap=cap)
+        auction = outcome.auction
+        return 200, {
+            "winners": list(auction.winner_ids),
+            "payments": {w: auction.payments[w] for w in auction.winner_ids},
+            "social_cost": auction.social_cost,
+            "total_payment": auction.total_payment,
+            "platform_utility": outcome.platform_utility,
+            "social_welfare": outcome.social_welfare,
+        }
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Thin JSON-over-HTTP adapter around a :class:`StreamingApp`."""
+
+    app: StreamingApp  # set by make_server on the subclass
+    quiet = True
+    protocol_version = "HTTP/1.1"
+
+    def _respond(self) -> None:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b""
+        try:
+            payload = json.loads(raw) if raw else {}
+        except json.JSONDecodeError as exc:
+            self._send(400, {"error": f"invalid JSON body: {exc}"})
+            return
+        try:
+            status, body = self.app.handle(self.command, self.path, payload)
+        except Exception as exc:  # last resort: never drop the connection
+            status, body = 500, {"error": f"internal error: {exc}"}
+        self._send(status, body)
+
+    def _send(self, status: int, body: dict) -> None:
+        data = json.dumps(body).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    do_GET = do_POST = do_DELETE = _respond
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if not self.quiet:
+            super().log_message(format, *args)
+
+
+def make_server(
+    app: StreamingApp,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    quiet: bool = True,
+) -> ThreadingHTTPServer:
+    """Bind ``app`` to a threading HTTP server (port 0 = ephemeral)."""
+    handler = type("BoundHandler", (_Handler,), {"app": app, "quiet": quiet})
+    return ThreadingHTTPServer((host, port), handler)
+
+
+def serve(
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    *,
+    store: CampaignStore | None = None,
+    quiet: bool = False,
+) -> None:
+    """Run the service until interrupted (the ``repro serve`` entry)."""
+    app = StreamingApp(store)
+    server = make_server(app, host, port, quiet=quiet)
+    bound_host, bound_port = server.server_address[:2]
+    print(f"repro streaming service on http://{bound_host}:{bound_port}")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        server.server_close()

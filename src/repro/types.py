@@ -24,7 +24,7 @@ exist for data generation and evaluation only; no algorithm in
 from __future__ import annotations
 
 from collections.abc import Iterable, Mapping
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from functools import cached_property
 
 from .errors import ConfigurationError, DataFormatError

@@ -109,3 +109,25 @@ def soac_medium() -> SOACInstance:
         costs=bids.copy(),
         task_values=np.full(m, 6.0),
     )
+
+
+#: Every array field of ClaimArrays the incremental append path must
+#: splice identically to a cold rebuild; shared by the indexing unit
+#: tests and the streaming property suite so a new field cannot be
+#: covered by one and silently missed by the other.
+CLAIM_ARRAY_FIELDS = (
+    "claim_task", "claim_worker", "claim_code", "claim_group", "task_ptr",
+    "group_ptr", "group_task", "group_code", "group_size", "task_group_ptr",
+    "worker_ptr", "worker_claims",
+)
+
+
+def assert_same_claim_arrays(got, want) -> None:
+    """Field-for-field equality of two ClaimArrays views."""
+    import numpy as np
+
+    for name in CLAIM_ARRAY_FIELDS:
+        np.testing.assert_array_equal(
+            getattr(got, name), getattr(want, name), err_msg=name
+        )
+    assert got.group_values == want.group_values

@@ -102,6 +102,44 @@ class TestAuction:
             main(["auction", str(campaign_dir)])
 
 
+class TestIngest:
+    def test_local_replay(self, campaign_dir, capsys):
+        code = main(["ingest", str(campaign_dir), "--batches", "4"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "batch" in out
+        assert "after 4 batches" in out
+        assert "precision:" in out
+
+    def test_replay_against_live_server(self, campaign_dir, capsys):
+        import threading
+
+        from repro.streaming import StreamingApp, make_server
+
+        server = make_server(StreamingApp(), port=0)
+        port = server.server_address[1]
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            # An id with a space exercises the URL quoting path.
+            code = main(
+                [
+                    "ingest",
+                    str(campaign_dir),
+                    "--batches", "3",
+                    "--campaign", "cli replay",
+                    "--url", f"http://127.0.0.1:{port}",
+                ]
+            )
+            assert code == 0
+            out = capsys.readouterr().out
+            assert "cli replay" in out
+            assert "after 3 batches" in out
+        finally:
+            server.shutdown()
+            server.server_close()
+
+
 class TestAblationExperiment:
     def test_registered_and_runs(self, capsys):
         from repro.experiments import run_experiment

@@ -304,3 +304,23 @@ class TestDatasetIO:
         (tmp_path / "ds" / "tasks.csv").write_text("wrong,columns\n1,2\n")
         with pytest.raises(DataFormatError):
             load_dataset(tmp_path / "ds")
+
+    def test_duplicate_claim_row_rejected(self, tmp_path, qlf_small):
+        # A worker submits at most one value per task; a corrupt archive
+        # repeating a (worker, task) row must fail loudly instead of
+        # silently keeping the last value (streaming replay depends on
+        # deterministic claim sets).
+        from repro.errors import DataFormatError, ReproError
+
+        save_dataset(qlf_small, tmp_path / "ds")
+        claims_csv = tmp_path / "ds" / "claims.csv"
+        lines = claims_csv.read_text().splitlines()
+        worker_id, task_id, _ = lines[1].split(",")
+        claims_csv.write_text(
+            "\n".join(lines + [f"{worker_id},{task_id},another-value"]) + "\n"
+        )
+        with pytest.raises(DataFormatError, match="duplicate claim") as excinfo:
+            load_dataset(tmp_path / "ds")
+        assert worker_id in str(excinfo.value)
+        assert task_id in str(excinfo.value)
+        assert isinstance(excinfo.value, ReproError)

@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro import DATE, ConfigurationError, DateConfig, discover_truth
-from repro.core import DatasetIndex, UniformFalseValues, ZipfFalseValues
+from repro.core import DatasetIndex, ZipfFalseValues
 
 
 class TestDateConfig:

@@ -104,3 +104,130 @@ class TestMajorityVote:
         claims = {("a", "t0"): "x"}
         index = DatasetIndex(Dataset(tasks=tasks, workers=workers, claims=claims))
         assert index.majority_vote() == ["x", None]
+
+
+from tests.conftest import assert_same_claim_arrays as assert_same_arrays
+
+
+class TestIndexExtension:
+    def split(self, dataset, n_first_tasks):
+        first = [t.task_id for t in dataset.tasks[:n_first_tasks]]
+        first_set = set(first)
+        base_claims = {k: v for k, v in dataset.claims.items() if k[1] in first_set}
+        rest_claims = {k: v for k, v in dataset.claims.items() if k[1] not in first_set}
+        base = Dataset(
+            tasks=dataset.tasks[:n_first_tasks],
+            workers=dataset.workers,
+            claims=base_claims,
+        )
+        return base, dataset.tasks[n_first_tasks:], rest_claims
+
+    def test_appended_tasks_match_cold_rebuild(self, tiny_dataset):
+        base, new_tasks, new_claims = self.split(tiny_dataset, 2)
+        index = DatasetIndex(base)
+        index.arrays
+        ext = index.extended(tasks=new_tasks, claims=new_claims)
+        cold = DatasetIndex(tiny_dataset)
+        assert ext.index.task_ids == cold.task_ids
+        assert ext.index.value_groups == cold.value_groups
+        np.testing.assert_array_equal(ext.index.num_false, cold.num_false)
+        assert_same_arrays(ext.index.arrays, cold.arrays)
+
+    def test_pair_tables_extend_when_materialized(self, tiny_dataset):
+        base, new_tasks, new_claims = self.split(tiny_dataset, 2)
+        index = DatasetIndex(base)
+        index.arrays._pair_tables
+        ext = index.extended(tasks=new_tasks, claims=new_claims)
+        assert "_pair_tables" in ext.index.arrays.__dict__
+        cold = DatasetIndex(tiny_dataset)
+        for got, want in zip(
+            ext.index.arrays._pair_tables, cold.arrays._pair_tables
+        ):
+            np.testing.assert_array_equal(got, want)
+
+    def test_claims_on_existing_tasks_mark_them_dirty(self, tiny_dataset):
+        index = DatasetIndex(tiny_dataset)
+        index.arrays
+        ext = index.extended(claims={("w5", "t2"): "C", ("w5", "t3"): "A"})
+        assert sorted(ext.dirty_tasks.tolist()) == [2, 3]
+        assert len(ext.new_task_positions) == 0
+        merged = dict(tiny_dataset.claims)
+        merged.update({("w5", "t2"): "C", ("w5", "t3"): "A"})
+        cold = DatasetIndex(
+            Dataset(tasks=tiny_dataset.tasks, workers=tiny_dataset.workers,
+                    claims=merged)
+        )
+        assert_same_arrays(ext.index.arrays, cold.arrays)
+
+    def test_claim_map_carries_per_claim_state(self, tiny_dataset):
+        index = DatasetIndex(tiny_dataset)
+        arrays = index.arrays
+        state = np.arange(arrays.n_claims, dtype=np.float64)
+        ext = index.extended(claims={("w5", "t2"): "C"})
+        carried = np.full(ext.index.arrays.n_claims, -1.0)
+        carried[ext.claim_map] = state
+        for old_pos in range(arrays.n_claims):
+            new_pos = int(ext.claim_map[old_pos])
+            assert arrays.claim_worker[old_pos] == ext.index.arrays.claim_worker[new_pos]
+            assert arrays.claim_task[old_pos] == ext.index.arrays.claim_task[new_pos]
+        # exactly one new claim got no carried state
+        assert (carried < 0).sum() == 1
+
+    def test_claim_map_none_without_materialized_arrays(self, tiny_dataset):
+        index = DatasetIndex(tiny_dataset)
+        ext = index.extended(claims={("w5", "t2"): "C"})
+        assert ext.claim_map is None
+        # the new index still encodes correctly, just lazily
+        assert ext.index.arrays.n_claims == index.dataset.n_claims + 1
+
+    def test_old_index_is_not_mutated(self, tiny_dataset):
+        index = DatasetIndex(tiny_dataset)
+        before_groups = {j: dict(g) for j, g in enumerate(index.value_groups)}
+        before_claims = {j: dict(c) for j, c in enumerate(index.claims_by_task)}
+        index.arrays
+        index.extended(claims={("w5", "t2"): "C"})
+        assert {j: dict(g) for j, g in enumerate(index.value_groups)} == before_groups
+        assert {j: dict(c) for j, c in enumerate(index.claims_by_task)} == before_claims
+        assert index.arrays.n_claims == tiny_dataset.n_claims
+
+    def test_new_workers_and_sources(self, tiny_dataset):
+        index = DatasetIndex(tiny_dataset)
+        index.arrays
+        newbies = (
+            WorkerProfile(worker_id="w6"),
+            WorkerProfile(
+                worker_id="w7", is_copier=True, sources=("w6",), copy_prob=0.5
+            ),
+        )
+        ext = index.extended(workers=newbies, claims={("w6", "t0"): "B"})
+        assert ext.index.worker_ids[-2:] == ["w6", "w7"]
+        assert ext.index.claims_by_worker[5] == {0: "B"}
+        assert ext.index.claims_by_worker[6] == {}
+
+    def test_validation_errors(self, tiny_dataset):
+        from repro.errors import DataFormatError
+
+        index = DatasetIndex(tiny_dataset)
+        with pytest.raises(DataFormatError, match="unknown task"):
+            index.extended(claims={("w1", "nope"): "A"})
+        with pytest.raises(DataFormatError, match="unknown worker"):
+            index.extended(claims={("nope", "t0"): "A"})
+        with pytest.raises(DataFormatError, match="duplicate claim"):
+            index.extended(claims={("w1", "t0"): "B"})
+        with pytest.raises(DataFormatError, match="re-adds existing task"):
+            index.extended(tasks=(Task(task_id="t0"),))
+        with pytest.raises(DataFormatError, match="re-adds existing worker"):
+            index.extended(workers=(WorkerProfile(worker_id="w1"),))
+        with pytest.raises(DataFormatError, match="closed domain"):
+            index.extended(claims={("w5", "t2"): "Z"})
+        with pytest.raises(DataFormatError, match="unknown worker"):
+            index.extended(
+                workers=(
+                    WorkerProfile(
+                        worker_id="w9", is_copier=True, sources=("ghost",),
+                        copy_prob=0.5,
+                    ),
+                )
+            )
+        with pytest.raises(DataFormatError, match="non-empty string"):
+            index.extended(claims={("w5", "t2"): ""})

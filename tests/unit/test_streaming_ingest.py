@@ -1,0 +1,132 @@
+"""Unit tests for claim batches and replay (repro.streaming.ingest)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Task, WorkerProfile
+from repro.errors import DataFormatError
+from repro.streaming import ClaimBatch, batch_from_json, batch_to_json, replay_batches
+
+
+class TestClaimBatch:
+    def test_defaults_are_empty(self):
+        batch = ClaimBatch()
+        assert batch.is_empty
+        assert batch.n_claims == 0
+
+    def test_counts(self):
+        batch = ClaimBatch(
+            claims={("w", "t"): "v"},
+            tasks=(Task(task_id="t"),),
+            workers=(WorkerProfile(worker_id="w"),),
+        )
+        assert not batch.is_empty
+        assert batch.n_claims == 1
+
+    def test_duplicate_task_ids_rejected(self):
+        with pytest.raises(DataFormatError, match="duplicate task ids"):
+            ClaimBatch(tasks=(Task(task_id="t"), Task(task_id="t")))
+
+    def test_duplicate_worker_ids_rejected(self):
+        with pytest.raises(DataFormatError, match="duplicate worker ids"):
+            ClaimBatch(
+                workers=(
+                    WorkerProfile(worker_id="w"),
+                    WorkerProfile(worker_id="w"),
+                )
+            )
+
+    def test_malformed_claim_keys_rejected(self):
+        with pytest.raises(DataFormatError, match="pair"):
+            ClaimBatch(claims={"not-a-pair": "v"})
+        with pytest.raises(DataFormatError, match="pair"):
+            ClaimBatch(claims={("w", ""): "v"})
+
+    def test_empty_value_rejected(self):
+        with pytest.raises(DataFormatError, match="non-empty string"):
+            ClaimBatch(claims={("w", "t"): ""})
+
+
+class TestReplayBatches:
+    def test_batch_count_clamped_to_tasks(self, tiny_dataset):
+        batches = replay_batches(tiny_dataset, 100)
+        assert len(batches) == tiny_dataset.n_tasks
+
+    def test_invalid_batch_count(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            replay_batches(tiny_dataset, 0)
+
+    def test_covers_all_claims_once(self, qlf_small):
+        batches = replay_batches(qlf_small, 7)
+        merged = {}
+        for batch in batches:
+            assert not set(batch.claims) & set(merged)
+            merged.update(batch.claims)
+        assert merged == dict(qlf_small.claims)
+
+    def test_tasks_published_in_dataset_order(self, qlf_small):
+        batches = replay_batches(qlf_small, 7)
+        published = [t.task_id for batch in batches for t in batch.tasks]
+        assert published == [t.task_id for t in qlf_small.tasks]
+
+    def test_workers_register_exactly_once(self, qlf_small):
+        batches = replay_batches(qlf_small, 7)
+        registered = [w.worker_id for batch in batches for w in batch.workers]
+        assert len(registered) == len(set(registered))
+        assert set(registered) == {w.worker_id for w in qlf_small.workers}
+
+    def test_copier_never_precedes_its_sources(self, qlf_small):
+        batches = replay_batches(qlf_small, 7)
+        seen: set[str] = set()
+        for batch in batches:
+            batch_ids = {w.worker_id for w in batch.workers}
+            for worker in batch.workers:
+                for source in worker.sources:
+                    assert source in seen or source in batch_ids
+            seen |= batch_ids
+
+    def test_claims_ride_with_their_task_batch(self, tiny_dataset):
+        batches = replay_batches(tiny_dataset, 2)
+        for batch in batches:
+            task_ids = {t.task_id for t in batch.tasks}
+            assert {task_id for (_, task_id) in batch.claims} <= task_ids
+
+
+class TestJsonRoundTrip:
+    def test_round_trip(self, tiny_dataset):
+        batch = ClaimBatch(
+            claims=tiny_dataset.claims,
+            tasks=tiny_dataset.tasks,
+            workers=tiny_dataset.workers,
+        )
+        payload = batch_to_json(batch, include_truth=True)
+        decoded = batch_from_json(payload)
+        assert decoded.claims == batch.claims
+        assert decoded.tasks == batch.tasks
+        assert decoded.workers == batch.workers
+
+    def test_truth_hidden_by_default(self, tiny_dataset):
+        batch = ClaimBatch(tasks=tiny_dataset.tasks)
+        payload = batch_to_json(batch)
+        assert all("truth" not in spec for spec in payload["tasks"])
+        decoded = batch_from_json(payload)
+        assert all(t.truth is None for t in decoded.tasks)
+
+    def test_malformed_payloads_rejected(self):
+        with pytest.raises(DataFormatError):
+            batch_from_json(["not", "an", "object"])
+        with pytest.raises(DataFormatError, match="worker/task/value"):
+            batch_from_json({"claims": [{"worker": "w"}]})
+        with pytest.raises(DataFormatError, match="task_id"):
+            batch_from_json({"tasks": [{"domain": ["A"]}]})
+        with pytest.raises(DataFormatError, match="worker_id"):
+            batch_from_json({"workers": [{}]})
+
+    def test_duplicate_claim_rows_rejected(self):
+        rows = [
+            {"worker": "w", "task": "t", "value": "a"},
+            {"worker": "w", "task": "t", "value": "b"},
+        ]
+        with pytest.raises(DataFormatError, match="duplicate claim"):
+            batch_from_json({"claims": rows})
