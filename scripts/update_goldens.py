@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Regenerate the golden regression fixtures under tests/golden/.
+
+Run after an *intentional* numeric change (new algorithm defaults, a
+reworked generator) and commit the refreshed JSON together with the
+change that caused it:
+
+    PYTHONPATH=src python scripts/update_goldens.py
+
+The fixtures pin the seeded demo configuration of fig3a / fig3b /
+table1; ``tests/integration/test_golden.py`` fails with a per-point
+diff whenever the reproduced series drift from these files.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+GOLDEN_DIR = Path(__file__).resolve().parent.parent / "tests" / "golden"
+
+
+def golden_results() -> dict[str, object]:
+    """The pinned demo runs (import here so --help stays dependency-free)."""
+    from repro.experiments.fig3 import run_fig3a, run_fig3b
+    from repro.experiments.table1 import run_table1
+
+    return {
+        "fig3a": run_fig3a(
+            "quick",
+            instances=2,
+            base_seed=7,
+            epsilon_grid=(0.1, 0.5, 0.9),
+            alpha_grid=(0.1, 0.5, 0.9),
+        ),
+        "fig3b": run_fig3b(
+            "quick", instances=2, base_seed=7, r_grid=(0.1, 0.4, 0.8)
+        ),
+        "table1": run_table1(),
+    }
+
+
+def main() -> int:
+    GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+    for name, result in golden_results().items():
+        payload = {
+            "experiment_id": result.experiment_id,
+            "x_values": list(result.x_values),
+            "series": {key: list(ys) for key, ys in result.series.items()},
+        }
+        path = GOLDEN_DIR / f"{name}.json"
+        path.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+        print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,7 +15,11 @@ The package implements the paper's two-stage IMC2 mechanism end to end:
   table/figure (:mod:`repro.simulation`, :mod:`repro.experiments`);
 - a streaming ingestion + online truth-discovery service — claim
   batches, incremental re-estimation, multi-campaign store, HTTP API
-  (:mod:`repro.streaming`, ``repro serve``).
+  (:mod:`repro.streaming`, ``repro serve``);
+- an adversarial scenario lab — composable worker-strategy transforms
+  (chain copiers, collusion rings, sybils, spammers, bid shading) with
+  ground-truth labels, a declarative scenario registry, and a seeded
+  parallel runner (:mod:`repro.scenarios`, ``repro scenario run``).
 
 Quickstart::
 

@@ -16,7 +16,12 @@ Subcommands:
   streaming truth-discovery HTTP service;
 - ``repro ingest <dir> [--batches N] [--url URL]`` — replay an archived
   CSV campaign as a claim-batch stream, either through an in-process
-  online estimator or against a running ``repro serve`` instance.
+  online estimator or against a running ``repro serve`` instance;
+- ``repro scenario list`` — show every registered adversarial scenario;
+- ``repro scenario run <name> [--instances N] [--seed S]
+  [--parallel N]`` — run one adversarial scenario end to end and print
+  the per-metric summary (DATE/MV precision, detection P/R/F1, auction
+  shading metrics when the scenario runs the auction stage).
 """
 
 from __future__ import annotations
@@ -41,6 +46,7 @@ from .mechanism.imc2 import IMC2
 from .reporting.export import write_csv, write_json
 from .reporting.figures import render_chart
 from .reporting.tables import format_table, render_result_table
+from .scenarios import get_scenario, list_scenarios, run_scenario
 from .streaming import CampaignStore, OnlineDATE, batch_to_json, replay_batches, serve
 
 __all__ = ["main"]
@@ -56,6 +62,8 @@ _TRUTH_ALGORITHMS = {
 _FIXED_RUNNERS = {"table1"}
 #: Runners without an ``instances`` parameter.
 _NO_INSTANCES = {"table1", "fig8a", "fig8b"}
+#: Runners wired onto the parallel executor (accept ``parallel=N``).
+_PARALLEL_RUNNERS = {"table1", "fig3a", "fig3b", "adv-f1", "adv-precision"}
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -93,6 +101,14 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument(
         "--no-chart", action="store_true", help="skip the ASCII chart rendering"
+    )
+    run.add_argument(
+        "--parallel",
+        type=int,
+        default=None,
+        help="fan instances out over N worker processes (experiments "
+        "wired onto the parallel executor only; results are "
+        "bit-identical to the serial run)",
     )
 
     generate = sub.add_parser(
@@ -180,6 +196,38 @@ def _build_parser() -> argparse.ArgumentParser:
     ingest.add_argument("--r", type=float, default=0.4, help="assumed copy prob")
     ingest.add_argument("--alpha", type=float, default=0.2, help="dependence prior")
     ingest.add_argument("--epsilon", type=float, default=0.5, help="initial accuracy")
+
+    scenario = sub.add_parser(
+        "scenario", help="adversarial scenario lab (list / run)"
+    )
+    scenario_sub = scenario.add_subparsers(dest="scenario_command", required=True)
+    scenario_sub.add_parser("list", help="list all registered scenarios")
+    scenario_run = scenario_sub.add_parser(
+        "run", help="run one adversarial scenario end to end"
+    )
+    scenario_run.add_argument("name", help="scenario name (see 'scenario list')")
+    scenario_run.add_argument(
+        "--instances",
+        type=int,
+        default=None,
+        help="override the number of seeded instances",
+    )
+    scenario_run.add_argument(
+        "--seed", type=int, default=None, help="override the base seed"
+    )
+    scenario_run.add_argument(
+        "--parallel",
+        type=int,
+        default=1,
+        help="fan instances out over N worker processes "
+        "(default 1 = in-process; bit-identical to the serial run)",
+    )
+    scenario_run.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        help="override the dependence-posterior detection threshold",
+    )
     return parser
 
 
@@ -192,6 +240,15 @@ def _run_one(experiment_id: str, args: argparse.Namespace) -> None:
         kwargs["instances"] = args.instances
     if experiment_id in _FIXED_RUNNERS:
         kwargs = {"base_seed": args.seed}
+    if args.parallel is not None:
+        if experiment_id in _PARALLEL_RUNNERS:
+            kwargs["parallel"] = args.parallel
+        else:
+            print(
+                f"note: {experiment_id} is not wired onto the parallel "
+                f"executor; --parallel ignored, running serially "
+                f"(parallel experiments: {', '.join(sorted(_PARALLEL_RUNNERS))})"
+            )
     result = experiment.runner(**kwargs)
     print(render_result_table(result))
     if not args.no_chart:
@@ -397,6 +454,53 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    if args.scenario_command == "list":
+        rows = [
+            (
+                s.name,
+                ", ".join(strategy.name for strategy in s.strategies),
+                s.instances,
+                "yes" if s.auction else "no",
+                s.description,
+            )
+            for s in list_scenarios()
+        ]
+        print(
+            format_table(
+                ["name", "strategies", "instances", "auction", "summary"], rows
+            )
+        )
+        return 0
+    scenario = get_scenario(args.name)
+    overrides: dict = {}
+    if args.instances is not None:
+        overrides["instances"] = args.instances
+    if args.seed is not None:
+        overrides["base_seed"] = args.seed
+    if args.threshold is not None:
+        overrides["detection_threshold"] = args.threshold
+    if overrides:
+        scenario = scenario.evolve(**overrides)
+    start = time.perf_counter()
+    result = run_scenario(scenario, parallel=args.parallel)
+    elapsed = time.perf_counter() - start
+    rows = [
+        [name, stats.mean, stats.std, stats.ci95_low, stats.ci95_high]
+        for name, stats in sorted(result.summary().items())
+    ]
+    print(f"scenario {scenario.name!r}: {scenario.description}")
+    print(
+        f"strategies: {', '.join(s.name for s in scenario.strategies)} | "
+        f"world: {scenario.world.n_tasks} tasks x {scenario.world.n_workers} "
+        f"workers | instances: {scenario.instances} | seed: {scenario.base_seed}"
+    )
+    print()
+    print(format_table(["metric", "mean", "std", "ci95 low", "ci95 high"], rows))
+    print(f"\n{scenario.instances} instances in {elapsed:.2f}s")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
@@ -417,6 +521,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_serve(args)
     if args.command == "ingest":
         return _cmd_ingest(args)
+    if args.command == "scenario":
+        return _cmd_scenario(args)
     if args.experiment == "all":
         for experiment in list_experiments():
             _run_one(experiment.experiment_id, args)

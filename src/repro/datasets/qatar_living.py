@@ -23,10 +23,32 @@ from ..types import Dataset
 from .copiers import inject_copiers
 from .synthetic import WorldConfig, generate_world
 
-__all__ = ["generate_qatar_living_like", "QATAR_LIVING_LABELS"]
+__all__ = ["generate_qatar_living_like", "qatar_world_config", "QATAR_LIVING_LABELS"]
 
 #: The SemEval-2015 Task 3 comment annotation labels.
 QATAR_LIVING_LABELS: tuple[str, str, str] = ("Good", "Bad", "Other")
+
+
+def qatar_world_config(
+    n_tasks: int,
+    n_workers: int,
+    target_claims: int,
+    *,
+    base: WorldConfig | None = None,
+) -> WorldConfig:
+    """A :class:`WorldConfig` over the shared Good/Bad/Other domain.
+
+    The one place the label-set/`num_false` pairing is encoded — the
+    scenario lab, the adversary sweeps, and this preset all size their
+    worlds through it.
+    """
+    return (base or WorldConfig()).evolve(
+        n_tasks=n_tasks,
+        n_workers=n_workers,
+        target_claims=target_claims,
+        num_false=len(QATAR_LIVING_LABELS) - 1,
+        shared_labels=QATAR_LIVING_LABELS,
+    )
 
 
 def generate_qatar_living_like(
@@ -50,13 +72,8 @@ def generate_qatar_living_like(
     """
     rng = ensure_generator(seed)
     world_rng, copier_rng = spawn(rng, 2)
-    base = config or WorldConfig()
-    world_config = base.evolve(
-        n_tasks=n_tasks,
-        n_workers=n_workers,
-        target_claims=target_claims,
-        num_false=len(QATAR_LIVING_LABELS) - 1,
-        shared_labels=QATAR_LIVING_LABELS,
+    world_config = qatar_world_config(
+        n_tasks, n_workers, target_claims, base=config
     )
     if source_pool_size is None and n_copiers > 0:
         # Cluster roughly five copiers behind each source, the Table 1

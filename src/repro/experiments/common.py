@@ -16,10 +16,13 @@ against the scalar reference);  :func:`auction_algorithms` does the
 same for the three auction competitors.
 
 Runners that evaluate several algorithms or hyperparameter points on
-the same dataset should build one :class:`~repro.core.DatasetIndex`
-per instance (``ExperimentConfig.indexed_datasets``) and pass it to
-every ``run`` call: the integer-coded claim arrays hanging off the
-index are immutable and shared by all of them.
+the same dataset should structure the work *instance-first*: one
+module-level (picklable) function builds the k-th dataset plus one
+shared :class:`~repro.core.DatasetIndex` and evaluates every
+algorithm/grid cell on it, and
+:func:`~repro.simulation.runner.run_instances` fans the instances out
+(``parallel=N`` bit-identical to serial) — the pattern of
+``experiments.fig3`` and ``scenarios.runner.instance_metrics``.
 """
 
 from __future__ import annotations

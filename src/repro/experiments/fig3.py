@@ -4,13 +4,24 @@ Paper findings (Sec. VII-B): precision fluctuates only slightly
 (0.82-0.92) across ε, α ∈ [0.1, 0.9] — DATE is insensitive to its
 initializations — while the assumed copy probability r matters: the
 curve rises sharply from r = 0.1 to ≈ 0.4 and then plateaus.
+
+Execution is organized instance-first: one module-level work function
+evaluates the *whole* hyperparameter grid on the k-th seeded instance
+(sharing that instance's :class:`~repro.core.DatasetIndex` across every
+grid cell), and :func:`~repro.simulation.runner.run_instances` fans the
+instances out — serially or over the process pool (``parallel=N``)
+with bit-identical results, since each instance derives its dataset
+from ``(config, k)`` alone.
 """
 
 from __future__ import annotations
 
 from collections.abc import Sequence
+from functools import partial
 
 from ..core.date import DATE
+from ..core.indexing import DatasetIndex
+from ..simulation.config import ExperimentConfig
 from ..simulation.metrics import precision
 from ..simulation.runner import run_instances
 from ..simulation.sweep import ExperimentResult, sweep_series
@@ -22,6 +33,33 @@ _DEFAULT_GRID = (0.1, 0.3, 0.5, 0.7, 0.9)
 _DEFAULT_R_GRID = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9)
 
 
+def _cell(epsilon: float, alpha: float) -> str:
+    return f"eps={epsilon:g}|alpha={alpha:g}"
+
+
+def _fig3a_instance(
+    config: ExperimentConfig,
+    epsilon_grid: tuple[float, ...],
+    alpha_grid: tuple[float, ...],
+    assumed_r: float,
+    k: int,
+) -> dict[str, float]:
+    """Precision of the whole (ε, α) grid on instance ``k`` (picklable)."""
+    dataset = config.dataset_for(k)
+    index = DatasetIndex(dataset)
+    row: dict[str, float] = {}
+    for epsilon in epsilon_grid:
+        for alpha in alpha_grid:
+            date_config = config.date.evolve(
+                initial_accuracy=epsilon,
+                prior_alpha=alpha,
+                copy_prob_r=assumed_r,
+            )
+            result = DATE(date_config).run(dataset, index=index)
+            row[_cell(epsilon, alpha)] = precision(result, dataset)
+    return row
+
+
 def run_fig3a(
     scale: str | ScalePreset = "quick",
     *,
@@ -30,6 +68,7 @@ def run_fig3a(
     epsilon_grid: Sequence[float] = _DEFAULT_GRID,
     alpha_grid: Sequence[float] = _DEFAULT_GRID,
     assumed_r: float = 0.2,
+    parallel: int | None = 1,
 ) -> ExperimentResult:
     """Precision vs. initial accuracy ε, one series per prior α.
 
@@ -37,31 +76,19 @@ def run_fig3a(
     across all (ε, α) points so differences are purely algorithmic.
     """
     config = base_config(scale, instances=instances, base_seed=base_seed)
-    # One shared index per instance: the whole (ε, α) grid reuses the
-    # same claim arrays, only the hyperparameters change.
-    datasets = config.indexed_datasets()
+    epsilon_grid = tuple(epsilon_grid)
+    alpha_grid = tuple(alpha_grid)
+    table = run_instances(
+        config.instances,
+        partial(_fig3a_instance, config, epsilon_grid, alpha_grid, assumed_r),
+        parallel=parallel,
+    )
 
     def point(epsilon: float) -> dict[str, float]:
-        row: dict[str, float] = {}
-        for alpha in alpha_grid:
-            date_config = config.date.evolve(
-                initial_accuracy=epsilon,
-                prior_alpha=alpha,
-                copy_prob_r=assumed_r,
-            )
-            table = run_instances(
-                len(datasets),
-                lambda k: {
-                    "precision": precision(
-                        DATE(date_config).run(
-                            datasets[k][0], index=datasets[k][1]
-                        ),
-                        datasets[k][0],
-                    )
-                },
-            )
-            row[f"alpha={alpha:g}"] = table.mean("precision")
-        return row
+        return {
+            f"alpha={alpha:g}": table.mean(_cell(epsilon, alpha))
+            for alpha in alpha_grid
+        }
 
     return sweep_series(
         "fig3a",
@@ -76,10 +103,25 @@ def run_fig3a(
                 "whole (ε, α) grid; best near ε=0.5, α=0.2"
             ),
             "assumed_r": assumed_r,
-            "instances": len(datasets),
+            "instances": config.instances,
             "base_seed": base_seed,
         },
     )
+
+
+def _fig3b_instance(
+    config: ExperimentConfig,
+    r_grid: tuple[float, ...],
+    k: int,
+) -> dict[str, float]:
+    """Precision of the whole r grid on instance ``k`` (picklable)."""
+    dataset = config.dataset_for(k)
+    index = DatasetIndex(dataset)
+    row: dict[str, float] = {}
+    for r in r_grid:
+        result = DATE(config.date.evolve(copy_prob_r=r)).run(dataset, index=index)
+        row[f"r={r:g}"] = precision(result, dataset)
+    return row
 
 
 def run_fig3b(
@@ -88,6 +130,7 @@ def run_fig3b(
     instances: int | None = None,
     base_seed: int = 42,
     r_grid: Sequence[float] = _DEFAULT_R_GRID,
+    parallel: int | None = 1,
 ) -> ExperimentResult:
     """Precision vs. the assumed copy probability r.
 
@@ -96,21 +139,15 @@ def run_fig3b(
     Fig. 3b.
     """
     config = base_config(scale, instances=instances, base_seed=base_seed)
-    # Shared per-instance indexes across the whole r grid.
-    datasets = config.indexed_datasets()
+    r_grid = tuple(r_grid)
+    table = run_instances(
+        config.instances,
+        partial(_fig3b_instance, config, r_grid),
+        parallel=parallel,
+    )
 
     def point(r: float) -> dict[str, float]:
-        date_config = config.date.evolve(copy_prob_r=r)
-        table = run_instances(
-            len(datasets),
-            lambda k: {
-                "precision": precision(
-                    DATE(date_config).run(datasets[k][0], index=datasets[k][1]),
-                    datasets[k][0],
-                )
-            },
-        )
-        return {"DATE": table.mean("precision")}
+        return {"DATE": table.mean(f"r={r:g}")}
 
     return sweep_series(
         "fig3b",
@@ -125,7 +162,7 @@ def run_fig3b(
                 "then converges"
             ),
             "generative_copy_prob": config.copy_prob,
-            "instances": len(datasets),
+            "instances": config.instances,
             "base_seed": base_seed,
         },
     )

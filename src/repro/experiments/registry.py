@@ -16,6 +16,7 @@ from .ablation import run_ablation
 from .approx import run_approx
 from .fig3 import run_fig3a, run_fig3b
 from .fig45 import run_fig4a, run_fig4b, run_fig5a, run_fig5b
+from .fig_adversary import run_adversary_f1, run_adversary_precision
 from .fig67 import run_fig6a, run_fig6b, run_fig7a, run_fig7b
 from .fig8 import run_fig8a, run_fig8b
 from .table1 import run_table1
@@ -86,6 +87,18 @@ _register(
     "SOAC premise (extension)",
     "Truth-discovery precision using only auction winners",
     run_winners_quality,
+)
+_register(
+    "adv-f1",
+    "Scenario lab (extension)",
+    "Copier-detection F1 vs adversary fraction per strategy family",
+    run_adversary_f1,
+)
+_register(
+    "adv-precision",
+    "Scenario lab (extension)",
+    "DATE precision vs adversary fraction per strategy family",
+    run_adversary_precision,
 )
 
 

@@ -19,6 +19,7 @@ from ..baselines import EnumerateDependence, MajorityVote, NoCopier
 from ..core.config import DateConfig
 from ..core.date import DATE
 from ..core.indexing import DatasetIndex
+from ..simulation.executor import run_jobs
 from ..simulation.sweep import ExperimentResult
 from ..types import Dataset, Task, WorkerProfile
 
@@ -95,17 +96,36 @@ def build_affiliation_example() -> Dataset:
     return Dataset(tasks=tuple(tasks), workers=workers, claims=claims)
 
 
+def _algorithm_estimates(name: str, config: DateConfig) -> dict[str, str]:
+    """Estimated truths of one competitor on the example (picklable)."""
+    algorithms = {
+        "MV": lambda: MajorityVote(),
+        "NC": lambda: NoCopier(config),
+        "DATE": lambda: DATE(config),
+        "ED": lambda: EnumerateDependence(config),
+    }
+    dataset = build_affiliation_example()
+    result = algorithms[name]().run(dataset, index=DatasetIndex(dataset))
+    return dict(result.truths)
+
+
 def run_table1(
-    *, date_config: DateConfig | None = None, base_seed: int = 42
+    *,
+    date_config: DateConfig | None = None,
+    base_seed: int = 42,
+    parallel: int | None = 1,
 ) -> ExperimentResult:
     """Reproduce the Table 1 story: MV fails on 3 tasks, DATE recovers.
 
     Series are per-task correctness indicators (1 = estimated truth
     matches ground truth); meta carries the estimated value strings for
     inspection.  ``base_seed`` is accepted for registry uniformity; the
-    example is fully deterministic.
+    example is fully deterministic, so the ``parallel`` fan-out (one
+    job per algorithm through the shared process pool) cannot change
+    the result — it exists as differential-test coverage of the
+    executor on a heterogeneous job list, not as an optimization (the
+    5-task example runs in milliseconds either way).
     """
-    dataset = build_affiliation_example()
     # A near-1 assumed r suits wholesale copying (worker 4 copies 100%
     # of worker 3's data), a strong prior α gives the five-task evidence
     # enough leverage, and the total-dependence discount handles the
@@ -116,21 +136,18 @@ def run_table1(
         prior_alpha=0.5,
         discount_mode="total",
     )
-    algorithms = {
-        "MV": MajorityVote(),
-        "NC": NoCopier(config),
-        "DATE": DATE(config),
-        "ED": EnumerateDependence(config),
-    }
+    names = ("MV", "NC", "DATE", "ED")
+    results = run_jobs(
+        [(_algorithm_estimates, (name, config)) for name in names],
+        parallel=parallel,
+    )
     task_names = list(TABLE1_TRUTHS)
     series: dict[str, tuple[float, ...]] = {}
     estimates: dict[str, dict[str, str]] = {}
-    index = DatasetIndex(dataset)
-    for name, algorithm in algorithms.items():
-        result = algorithm.run(dataset, index=index)
-        estimates[name] = dict(result.truths)
+    for name, truths in zip(names, results):
+        estimates[name] = truths
         series[name] = tuple(
-            1.0 if result.truths.get(task) == TABLE1_TRUTHS[task] else 0.0
+            1.0 if truths.get(task) == TABLE1_TRUTHS[task] else 0.0
             for task in task_names
         )
     return ExperimentResult(

@@ -1,0 +1,65 @@
+"""Adversarial scenario lab: strategy transforms, registry, runner.
+
+The lab answers "what happens to DATE (and the auction) under worker
+strategies richer than the paper's single copier model" in three
+layers:
+
+- :mod:`repro.scenarios.strategies` — composable, seeded dataset
+  transforms (chain copiers, collusion rings, sybil amplification,
+  lazy spammers, bid shading), each emitting ground-truth
+  :class:`~repro.scenarios.strategies.AdversaryLabel` records;
+- :mod:`repro.scenarios.registry` — the declarative
+  :class:`~repro.scenarios.registry.Scenario` value object and the
+  named registry behind ``repro scenario list``;
+- :mod:`repro.scenarios.runner` — seeded instance execution with
+  detection precision/recall scoring and deterministic process-pool
+  fan-out (``parallel=N``, bit-identical to serial).
+"""
+
+from .registry import (
+    Scenario,
+    UnknownScenarioError,
+    get_scenario,
+    list_scenarios,
+    register_scenario,
+)
+from .runner import (
+    DetectionReport,
+    ScenarioRunResult,
+    detection_report,
+    run_scenario,
+    sweep_scenario,
+)
+from .strategies import (
+    AdversaryLabel,
+    BidShading,
+    ChainCopiers,
+    CollusionRing,
+    LazyWorkers,
+    ScenarioWorld,
+    Strategy,
+    SybilAmplification,
+    apply_strategies,
+)
+
+__all__ = [
+    "AdversaryLabel",
+    "BidShading",
+    "ChainCopiers",
+    "CollusionRing",
+    "DetectionReport",
+    "LazyWorkers",
+    "Scenario",
+    "ScenarioRunResult",
+    "ScenarioWorld",
+    "Strategy",
+    "SybilAmplification",
+    "UnknownScenarioError",
+    "apply_strategies",
+    "detection_report",
+    "get_scenario",
+    "list_scenarios",
+    "register_scenario",
+    "run_scenario",
+    "sweep_scenario",
+]

@@ -8,6 +8,8 @@ measured:
   (world shape × algorithm hyperparameters × instance count);
 - :mod:`repro.simulation.runner` — run a metric function over seeded
   instances and aggregate;
+- :mod:`repro.simulation.executor` — the deterministic process-pool
+  fan-out behind every ``parallel=N`` knob;
 - :mod:`repro.simulation.sweep` — parameter sweeps producing plot-ready
   series;
 - :mod:`repro.simulation.metrics` — precision, copier detection,
@@ -18,6 +20,7 @@ measured:
 """
 
 from .config import ExperimentConfig
+from .executor import available_cpus, parallel_map, run_jobs
 from .metrics import (
     auction_report,
     copier_detection_report,
@@ -35,9 +38,12 @@ __all__ = [
     "SummaryStats",
     "Timer",
     "auction_report",
+    "available_cpus",
     "copier_detection_report",
+    "parallel_map",
     "precision",
     "run_instances",
+    "run_jobs",
     "summarize",
     "sweep_series",
     "timed",

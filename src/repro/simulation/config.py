@@ -15,7 +15,6 @@ from dataclasses import dataclass, field, replace
 from typing import Any
 
 from ..core.config import DateConfig
-from ..core.indexing import DatasetIndex
 from ..datasets.copiers import inject_copiers
 from ..datasets.qatar_living import QATAR_LIVING_LABELS
 from ..datasets.synthetic import WorldConfig, generate_world
@@ -107,15 +106,3 @@ class ExperimentConfig:
     def datasets(self) -> list[Dataset]:
         """All instances, in index order."""
         return [self.dataset_for(k) for k in range(self.instances)]
-
-    def indexed_datasets(self) -> list[tuple[Dataset, DatasetIndex]]:
-        """All instances with a prebuilt :class:`DatasetIndex` each.
-
-        Sweeps that evaluate many algorithm/hyperparameter points per
-        instance should share one index per dataset: the integer-coded
-        claim arrays (``index.arrays``) are immutable and reusable
-        across every DATE/baseline run on the same data.
-        """
-        return [
-            (dataset, DatasetIndex(dataset)) for dataset in self.datasets()
-        ]

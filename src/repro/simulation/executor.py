@@ -1,0 +1,169 @@
+"""Seeded, deterministic process-pool fan-out.
+
+:func:`parallel_map` is the one parallel primitive the whole experiment
+stack runs on: :func:`~repro.simulation.runner.run_instances`,
+:func:`~repro.simulation.sweep.sweep_series`, the scenario runner, and
+the figure runners all fan out through it.  The contract is strict:
+
+- **Bit-identical to serial.**  ``parallel_map(fn, items, parallel=N)``
+  returns exactly ``[fn(item) for item in items]`` for every ``N``.
+  Work items carry their own derived seeds (the caller derives them
+  from the root seed *before* submission, e.g. via
+  :func:`repro.rng.instance_seeds`), so no randomness ever depends on
+  scheduling order, worker count, or completion order.
+- **Spawn-safe.**  Pools are created with the ``spawn`` start method —
+  the only method that is safe under threads and BLAS on every
+  platform — so ``fn`` and every argument must be picklable: a
+  module-level function, or a :func:`functools.partial` of one over
+  picklable configs.  Closures are rejected by pickle with a clear
+  error rather than deadlocking.
+- **Pool reuse.**  Spawned workers pay a full interpreter + import
+  start-up, so pools are cached per worker count and reused across
+  calls for the life of the process (shut down atexit).
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import os
+import threading
+from collections.abc import Callable, Sequence
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, TypeVar
+
+from ..errors import ConfigurationError
+
+__all__ = [
+    "available_cpus",
+    "parallel_map",
+    "resolve_parallel",
+    "run_jobs",
+    "shutdown_pools",
+]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Cached pools, keyed by worker count.  Spawned workers re-import the
+#: package (~1 s each), so a pool is an asset worth keeping warm.  The
+#: lock serializes cache membership only (never the map() calls), so
+#: concurrent threads cannot race two pools into one slot and orphan
+#: the loser's worker processes.
+_POOLS: dict[int, ProcessPoolExecutor] = {}
+_POOLS_LOCK = threading.Lock()
+
+
+def available_cpus() -> int:
+    """CPUs this process may actually use (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def resolve_parallel(parallel: int | None) -> int:
+    """Normalize a ``parallel`` argument: ``None`` means all CPUs."""
+    if parallel is None:
+        return max(available_cpus(), 1)
+    if parallel < 1:
+        raise ConfigurationError(f"parallel must be >= 1, got {parallel}")
+    return parallel
+
+
+def _pool(workers: int) -> ProcessPoolExecutor:
+    with _POOLS_LOCK:
+        pool = _POOLS.get(workers)
+        if pool is None:
+            pool = ProcessPoolExecutor(
+                max_workers=workers,
+                mp_context=multiprocessing.get_context("spawn"),
+            )
+            _POOLS[workers] = pool
+        return pool
+
+
+def _evict_pool(workers: int, broken: ProcessPoolExecutor) -> None:
+    """Drop one cached pool (after it broke); the next use re-creates it.
+
+    Only evicts if the slot still holds the pool the caller saw break —
+    a concurrent thread may already have replaced it.
+    """
+    with _POOLS_LOCK:
+        if _POOLS.get(workers) is broken:
+            del _POOLS[workers]
+    broken.shutdown(wait=False, cancel_futures=True)
+
+
+def shutdown_pools() -> None:
+    """Shut down every cached pool (idempotent; re-use re-creates)."""
+    with _POOLS_LOCK:
+        pools = list(_POOLS.values())
+        _POOLS.clear()
+    for pool in pools:
+        pool.shutdown(wait=True, cancel_futures=True)
+
+
+atexit.register(shutdown_pools)
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    items: Sequence[T],
+    *,
+    parallel: int | None = 1,
+    chunksize: int = 1,
+) -> list[R]:
+    """``[fn(item) for item in items]``, optionally across processes.
+
+    ``parallel=1`` (the default) runs serially in-process — no pool, no
+    pickling requirement.  ``parallel=N`` fans out over a cached
+    N-worker spawn pool; results always come back in submission order,
+    so the output is independent of scheduling.  ``parallel=None`` uses
+    every available CPU.
+    """
+    workers = resolve_parallel(parallel)
+    items = list(items)
+    if workers == 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    pool = _pool(workers)
+    try:
+        return list(pool.map(fn, items, chunksize=chunksize))
+    except BrokenProcessPool:
+        # A killed worker (OOM, segfault) permanently breaks its
+        # executor.  Evict the poisoned pool and retry once on a fresh
+        # one — work items are pure functions of their arguments, so a
+        # re-run is safe; a second break propagates.
+        _evict_pool(workers, pool)
+        pool = _pool(workers)
+        try:
+            return list(pool.map(fn, items, chunksize=chunksize))
+        except BrokenProcessPool:
+            _evict_pool(workers, pool)
+            raise
+
+
+def run_jobs(
+    jobs: Sequence[Callable[[], Any]] | Sequence[tuple[Callable[..., Any], tuple]],
+    *,
+    parallel: int | None = 1,
+) -> list[Any]:
+    """Run heterogeneous ``(fn, args)`` jobs, results in job order.
+
+    Like :func:`parallel_map` but for a fixed list of distinct calls
+    (e.g. one job per algorithm); each job is ``(fn, args_tuple)``.
+    """
+    normalized: list[tuple[Callable[..., Any], tuple]] = []
+    for job in jobs:
+        if callable(job):
+            normalized.append((job, ()))
+        else:
+            fn, args = job
+            normalized.append((fn, tuple(args)))
+    return parallel_map(_call_job, normalized, parallel=parallel)
+
+
+def _call_job(job: tuple[Callable[..., Any], tuple]) -> Any:
+    fn, args = job
+    return fn(*args)

@@ -12,6 +12,7 @@ from __future__ import annotations
 from collections.abc import Callable, Mapping
 from dataclasses import dataclass
 
+from .executor import parallel_map
 from .stats import SummaryStats, summarize
 
 __all__ = ["InstanceTable", "run_instances"]
@@ -59,17 +60,27 @@ class InstanceTable:
         return len(self.rows)
 
 
-def run_instances(instances: int, metric_fn: MetricFn) -> InstanceTable:
+def run_instances(
+    instances: int, metric_fn: MetricFn, *, parallel: int | None = 1
+) -> InstanceTable:
     """Run ``metric_fn`` for instance indexes ``0..instances-1``.
 
     The metric function is responsible for deriving its own per-instance
-    seed (typically via :meth:`ExperimentConfig.dataset_for`).
+    seed (typically via :meth:`ExperimentConfig.dataset_for`), which is
+    what makes the fan-out deterministic: ``parallel=N`` distributes the
+    instances over an N-worker process pool
+    (:func:`~repro.simulation.executor.parallel_map`) and yields a table
+    bit-identical to the serial run.  With ``parallel > 1`` the metric
+    function must be picklable (a module-level function or a partial of
+    one).
     """
     if instances < 1:
         raise ValueError("instances must be >= 1")
     rows = []
-    for k in range(instances):
-        row = dict(metric_fn(k))
+    for k, raw in enumerate(
+        parallel_map(metric_fn, range(instances), parallel=parallel)
+    ):
+        row = dict(raw)
         if not row:
             raise ValueError(f"metric function returned no metrics for instance {k}")
         rows.append(row)

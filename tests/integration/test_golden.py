@@ -1,0 +1,73 @@
+"""Golden regression tests: fig3/table1 series pinned to JSON fixtures.
+
+Each test regenerates one experiment at the seeded demo configuration
+and compares every series point against ``tests/golden/<id>.json``
+within an absolute tolerance of 1e-9 (tight enough that any algorithmic
+or generator drift fails; loose enough to survive BLAS-level float
+reassociation across platforms).  Failures print a per-point diff of
+exactly which series values moved and by how much.
+
+**Updating the fixtures** (only after an intentional numeric change —
+e.g. new DATE defaults or a reworked world generator): run
+
+    PYTHONPATH=src python scripts/update_goldens.py
+
+review the JSON diff to confirm the drift is the one you meant to
+cause, and commit the refreshed fixtures with the change.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from scripts.update_goldens import golden_results
+
+GOLDEN_DIR = Path(__file__).resolve().parent.parent / "golden"
+TOLERANCE = 1e-9
+
+
+def _diff(golden: dict, result) -> list[str]:
+    """Human-readable list of every point that drifted."""
+    lines: list[str] = []
+    got_x = [float(x) for x in result.x_values]
+    want_x = [float(x) for x in golden["x_values"]]
+    if got_x != want_x:
+        lines.append(f"x grid changed: expected {want_x}, got {got_x}")
+    want_series = golden["series"]
+    if sorted(result.series) != sorted(want_series):
+        lines.append(
+            f"series changed: expected {sorted(want_series)}, "
+            f"got {sorted(result.series)}"
+        )
+        return lines
+    for name in sorted(want_series):
+        for k, (want, got) in enumerate(
+            zip(want_series[name], result.series[name])
+        ):
+            if abs(got - want) > TOLERANCE:
+                x = golden["x_values"][k]
+                lines.append(
+                    f"{name} @ x={x}: expected {want!r}, got {got!r} "
+                    f"(drift {got - want:+.3e})"
+                )
+    return lines
+
+
+@pytest.fixture(scope="module")
+def results():
+    return golden_results()
+
+
+@pytest.mark.parametrize("name", ["fig3a", "fig3b", "table1"])
+def test_series_match_golden(name, results):
+    path = GOLDEN_DIR / f"{name}.json"
+    golden = json.loads(path.read_text())
+    drift = _diff(golden, results[name])
+    assert not drift, (
+        f"{name} drifted from {path} "
+        "(if intentional, regenerate via scripts/update_goldens.py):\n"
+        + "\n".join(drift)
+    )

@@ -1,0 +1,143 @@
+"""Concurrency stress test for the streaming campaign store.
+
+Eight threads hammer one campaign — four ingesting disjoint claim
+chunks, two reading estimates/truths, one periodically forcing full
+refreshes, one running the IMC2 auction once enough data has landed —
+and the test asserts the service-level guarantees:
+
+- no thread observes any exception;
+- the campaign's batch counter is monotone non-decreasing under
+  concurrent reads;
+- the final full refresh equals a single-threaded replay of the same
+  claims bit-for-bit (ingestion is append-only and order-independent,
+  and the refresh path is exact, so interleaving must not matter).
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.core.config import DateConfig
+from repro.datasets import generate_qatar_living_like
+from repro.streaming import CampaignStore, ClaimBatch, OnlineDATE
+
+N_CHUNKS = 16
+CONFIG = DateConfig(copy_prob_r=0.4)
+
+
+def _chunks(dataset, n: int) -> list[dict]:
+    items = list(dataset.claims.items())
+    size = (len(items) + n - 1) // n
+    return [dict(items[i : i + size]) for i in range(0, len(items), size)]
+
+
+def test_eight_thread_hammer_matches_single_threaded_replay():
+    dataset = generate_qatar_living_like(
+        seed=13, n_tasks=40, n_workers=24, n_copiers=6, target_claims=480
+    )
+    chunks = _chunks(dataset, N_CHUNKS)
+
+    # Single-threaded reference: same campaign shape, same chunks, one
+    # thread, then an exact full refresh.
+    reference = OnlineDATE(CONFIG)
+    reference.ingest(ClaimBatch(tasks=dataset.tasks, workers=dataset.workers))
+    for chunk in chunks:
+        reference.ingest(ClaimBatch(claims=chunk))
+    expected = reference.refresh()
+
+    store = CampaignStore(config=CONFIG)
+    store.create(
+        "stress", tasks=dataset.tasks, workers=dataset.workers
+    )
+
+    errors: list[BaseException] = []
+    batch_counts: list[int] = []
+    ingested = threading.Event()
+    done = threading.Event()
+    chunk_lock = threading.Lock()
+    chunk_iter = iter(chunks)
+
+    def record(fn):
+        def wrapped():
+            try:
+                fn()
+            except BaseException as exc:  # noqa: BLE001 - the assertion *is* the test
+                errors.append(exc)
+                done.set()
+
+        return wrapped
+
+    @record
+    def ingest_worker():
+        while True:
+            with chunk_lock:
+                chunk = next(chunk_iter, None)
+            if chunk is None:
+                ingested.set()
+                return
+            store.ingest("stress", ClaimBatch(claims=chunk))
+
+    @record
+    def reader_worker():
+        while not done.is_set():
+            truths = store.truths("stress")["truths"]
+            assert isinstance(truths, dict)
+            store.estimate("stress", refresh=False)
+            store.worker_accuracy("stress")
+
+    @record
+    def refresher_worker():
+        while not done.is_set():
+            result = store.estimate("stress", refresh=True)
+            assert set(result.truths) <= {t.task_id for t in dataset.tasks}
+
+    @record
+    def auction_worker():
+        # Wait for enough data that coverage is meaningful, then run the
+        # full mechanism concurrently with the remaining ingests.
+        ingested.wait(timeout=60)
+        outcome = store.auction("stress", requirement_cap=0.8)
+        assert outcome.auction.n_winners >= 1
+
+    @record
+    def monitor_worker():
+        while not done.is_set():
+            batch_counts.append(store.get("stress").describe()["batches"])
+
+    threads = [
+        threading.Thread(target=fn)
+        for fn in (
+            ingest_worker,
+            ingest_worker,
+            ingest_worker,
+            ingest_worker,
+            reader_worker,
+            reader_worker,
+            refresher_worker,
+            auction_worker,
+        )
+    ]
+    monitor = threading.Thread(target=monitor_worker)
+    for thread in threads:
+        thread.start()
+    monitor.start()
+    for thread in threads[:4]:
+        thread.join(timeout=120)
+    ingested.wait(timeout=120)
+    done.set()
+    for thread in threads[4:]:
+        thread.join(timeout=120)
+    monitor.join(timeout=120)
+
+    assert not errors, f"worker threads raised: {errors!r}"
+    assert all(not t.is_alive() for t in threads) and not monitor.is_alive()
+
+    # Batch counts observed concurrently must be monotone non-decreasing.
+    assert batch_counts == sorted(batch_counts)
+    # Every chunk landed exactly once: 1 seed batch + N_CHUNKS ingests.
+    assert store.get("stress").describe()["batches"] == 1 + len(chunks)
+
+    # The final exact refresh is independent of interleaving.
+    final = store.estimate("stress", refresh=True)
+    assert final.truths == expected.truths
+    assert final.worker_accuracy == expected.worker_accuracy

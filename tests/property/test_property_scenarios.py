@@ -1,0 +1,277 @@
+"""Property-based tests for the scenario-lab strategy transforms.
+
+The contracts pinned here are what the scenario runner's determinism
+and the detection metrics rely on:
+
+- chain-copier injection never creates a dependence loop (the no-loop
+  assumption of Sec. II-B holds by construction);
+- sybil clones preserve the origin's per-identity claim count;
+- collusion rings keep the hidden leader out of the claim graph and
+  off every worker profile;
+- every transform is a pure function of ``(dataset, seed)``.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import WorldConfig
+from repro.datasets import generate_world
+from repro.scenarios import (
+    BidShading,
+    ChainCopiers,
+    CollusionRing,
+    LazyWorkers,
+    SybilAmplification,
+    apply_strategies,
+)
+
+#: One representative instance of every transform, sized for the small
+#: hypothesis worlds below (needs at most 8 eligible workers).
+ALL_STRATEGIES = (
+    ChainCopiers(n_chains=1, chain_length=3),
+    CollusionRing(ring_size=3),
+    SybilAmplification(n_profiles=1, clones_per_profile=2),
+    LazyWorkers(n_workers=2),
+    BidShading(n_workers=2),
+)
+
+
+@st.composite
+def small_world(draw):
+    config = WorldConfig(
+        n_tasks=draw(st.integers(min_value=3, max_value=12)),
+        n_workers=draw(st.integers(min_value=10, max_value=16)),
+        target_claims=draw(st.integers(min_value=40, max_value=120)),
+        num_false=draw(st.integers(min_value=1, max_value=3)),
+    )
+    seed = draw(st.integers(min_value=0, max_value=999))
+    return generate_world(config, seed)
+
+
+def _assert_acyclic(dataset) -> None:
+    """The copier -> source edges must form a DAG."""
+    edges = {w.worker_id: set(w.sources) for w in dataset.workers}
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color = dict.fromkeys(edges, WHITE)
+
+    def visit(node: str) -> None:
+        color[node] = GRAY
+        for nxt in edges[node]:
+            assert color[nxt] != GRAY, f"dependence loop through {nxt!r}"
+            if color[nxt] == WHITE:
+                visit(nxt)
+        color[node] = BLACK
+
+    for node in edges:
+        if color[node] == WHITE:
+            visit(node)
+
+
+class TestChainCopiers:
+    @given(
+        world=small_world(),
+        seed=st.integers(min_value=0, max_value=999),
+        n_chains=st.integers(min_value=1, max_value=3),
+        chain_length=st.integers(min_value=2, max_value=4),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_no_dependence_loop(self, world, seed, n_chains, chain_length):
+        if n_chains * chain_length > world.n_workers:
+            n_chains, chain_length = 1, 2
+        transformed = apply_strategies(
+            world, (ChainCopiers(n_chains=n_chains, chain_length=chain_length),), seed
+        )
+        _assert_acyclic(transformed.dataset)
+        # Every labeled copier records its predecessor as its one
+        # source; the roots are labeled too (copy-structure members)
+        # but keep clean profiles.
+        for label in transformed.labels:
+            worker = transformed.dataset.worker_by_id[label.worker_id]
+            if label.role == "chain-root":
+                assert not worker.is_copier
+                continue
+            assert worker.is_copier
+            assert worker.sources == (label.detail["source"],)
+
+    @given(world=small_world(), seed=st.integers(min_value=0, max_value=999))
+    @settings(max_examples=15, deadline=None)
+    def test_chain_is_transitive_not_a_star(self, world, seed):
+        """Depth-2 copiers source from the depth-1 copier, not the root."""
+        transformed = apply_strategies(
+            world, (ChainCopiers(n_chains=1, chain_length=3),), seed
+        )
+        by_depth = {
+            label.detail["depth"]: label for label in transformed.labels
+        }
+        assert by_depth[2].detail["source"] == by_depth[1].worker_id
+
+
+class TestCollusionRing:
+    @given(world=small_world(), seed=st.integers(min_value=0, max_value=999))
+    @settings(max_examples=25, deadline=None)
+    def test_leader_hidden_from_claim_graph(self, world, seed):
+        transformed = apply_strategies(world, (CollusionRing(ring_size=3),), seed)
+        dataset = transformed.dataset
+        (leader,) = transformed.labels_for("leader")
+        assert leader.virtual
+        worker_ids = {w.worker_id for w in dataset.workers}
+        assert leader.worker_id not in worker_ids
+        assert all(wid != leader.worker_id for wid, _ in dataset.claims)
+        # Members look like plain independents: no profile field betrays
+        # the ring, and their answered-task sets are unchanged.
+        for member in transformed.labels_for("colluder"):
+            profile = dataset.worker_by_id[member.worker_id]
+            assert not profile.is_copier
+            assert profile.sources == ()
+            assert set(dataset.claims_by_worker[member.worker_id]) == set(
+                world.claims_by_worker[member.worker_id]
+            )
+
+
+class TestSybilAmplification:
+    @given(
+        world=small_world(),
+        seed=st.integers(min_value=0, max_value=999),
+        clones=st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_clones_preserve_claim_counts(self, world, seed, clones):
+        transformed = apply_strategies(
+            world,
+            (SybilAmplification(n_profiles=2, clones_per_profile=clones),),
+            seed,
+        )
+        dataset = transformed.dataset
+        assert dataset.n_workers == world.n_workers + 2 * clones
+        for label in transformed.labels_for("sybil"):
+            origin = label.detail["origin"]
+            clone_claims = dataset.claims_by_worker[label.worker_id]
+            origin_claims = world.claims_by_worker[origin]
+            assert len(clone_claims) == len(origin_claims)
+            # Verbatim replay: same tasks, same values.
+            assert {
+                task_id: value for task_id, value in clone_claims.items()
+            } == dict(origin_claims)
+
+
+class TestTransformPurity:
+    @given(world=small_world(), seed=st.integers(min_value=0, max_value=999))
+    @settings(max_examples=10, deadline=None)
+    def test_pure_function_of_dataset_and_seed(self, world, seed):
+        """Same (dataset, seed) ⇒ identical dataset, for every transform."""
+        for strategy in ALL_STRATEGIES:
+            first = apply_strategies(world, (strategy,), seed)
+            second = apply_strategies(world, (strategy,), seed)
+            assert first.dataset.claims == second.dataset.claims
+            assert first.dataset.workers == second.dataset.workers
+            assert first.dataset.tasks == second.dataset.tasks
+            assert first.labels == second.labels
+
+    @given(world=small_world(), seed=st.integers(min_value=0, max_value=999))
+    @settings(max_examples=10, deadline=None)
+    def test_stack_never_corrupts_earlier_footprints(self, world, seed):
+        """Later strategies leave earlier strategies' workers alone.
+
+        Ring colluders (unmarked on profiles by design), sybil origins,
+        and chain roots must keep their post-transform claims through
+        the rest of the stack — otherwise the planted dependence signal
+        that detection is scored against silently disappears.
+        """
+        stack = (
+            CollusionRing(ring_size=3),
+            SybilAmplification(n_profiles=1, clones_per_profile=2),
+            LazyWorkers(n_workers=3),
+        )
+        transformed = apply_strategies(world, stack, seed)
+        dataset = transformed.dataset
+        spammers = {
+            label.worker_id for label in transformed.labels_for("spammer")
+        }
+        colluders = {
+            label.worker_id for label in transformed.labels_for("colluder")
+        }
+        assert not spammers & colluders
+        # Sybil clones still replay their origin verbatim at the end of
+        # the stack — nothing rewrote either side.
+        for label in transformed.labels_for("sybil"):
+            origin = label.detail["origin"]
+            assert origin not in spammers
+            assert dict(dataset.claims_by_worker[label.worker_id]) == dict(
+                dataset.claims_by_worker[origin]
+            )
+
+    @given(world=small_world(), seed=st.integers(min_value=0, max_value=999))
+    @settings(max_examples=10, deadline=None)
+    def test_stack_purity_and_input_immutability(self, world, seed):
+        """Stacks are pure too, and never mutate the input dataset."""
+        before = dict(world.claims)
+        stack = (
+            ChainCopiers(n_chains=1, chain_length=2),
+            LazyWorkers(n_workers=2),
+            BidShading(n_workers=2),
+        )
+        first = apply_strategies(world, stack, seed)
+        second = apply_strategies(world, stack, seed)
+        assert first.dataset.claims == second.dataset.claims
+        assert first.labels == second.labels
+        assert world.claims == before
+
+
+class TestHeterogeneousDomains:
+    @given(seed=st.integers(min_value=0, max_value=999))
+    @settings(max_examples=15, deadline=None)
+    def test_copy_strategies_survive_uneven_domain_sizes(self, seed):
+        """Transforms work on datasets whose tasks have different
+        domain sizes (e.g. CSV campaigns with inferred domains)."""
+        from repro import Dataset, Task, WorkerProfile
+
+        tasks = tuple(
+            Task(
+                task_id=f"t{j}",
+                domain=tuple("ABCDEF"[: 2 + (j % 4)]),
+                truth="A",
+            )
+            for j in range(8)
+        )
+        workers = tuple(
+            WorkerProfile(worker_id=f"w{i}", reliability=0.7) for i in range(12)
+        )
+        claims = {
+            (w.worker_id, t.task_id): ("A" if (i + j) % 3 else t.domain[-1])
+            for i, w in enumerate(workers)
+            for j, t in enumerate(tasks)
+        }
+        dataset = Dataset(tasks=tasks, workers=workers, claims=claims)
+        stack = (
+            ChainCopiers(n_chains=1, chain_length=3),
+            CollusionRing(ring_size=3),
+            LazyWorkers(n_workers=2),
+        )
+        transformed = apply_strategies(dataset, stack, seed)
+        # Every rewritten claim is still a member of its task's domain.
+        for (worker_id, task_id), value in transformed.dataset.claims.items():
+            assert value in transformed.dataset.task_by_id[task_id].domain
+
+
+class TestLazyAndShading:
+    @given(world=small_world(), seed=st.integers(min_value=0, max_value=999))
+    @settings(max_examples=15, deadline=None)
+    def test_lazy_workers_keep_participation(self, world, seed):
+        transformed = apply_strategies(world, (LazyWorkers(n_workers=3),), seed)
+        for label in transformed.labels_for("spammer"):
+            assert set(
+                transformed.dataset.claims_by_worker[label.worker_id]
+            ) == set(world.claims_by_worker[label.worker_id])
+
+    @given(world=small_world(), seed=st.integers(min_value=0, max_value=999))
+    @settings(max_examples=15, deadline=None)
+    def test_bid_shading_touches_only_bids(self, world, seed):
+        transformed = apply_strategies(world, (BidShading(n_workers=3),), seed)
+        assert transformed.dataset.claims == world.claims
+        prices = transformed.bid_prices()
+        assert len(prices) == 3
+        for label in transformed.labels_for("bid-shader"):
+            worker = world.worker_by_id[label.worker_id]
+            assert prices[label.worker_id] == worker.cost * 0.6

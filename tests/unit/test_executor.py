@@ -1,0 +1,57 @@
+"""Unit tests for the parallel executor's serial-path contract."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.simulation.executor import (
+    available_cpus,
+    parallel_map,
+    resolve_parallel,
+    run_jobs,
+)
+
+
+def _double(x: int) -> int:
+    return 2 * x
+
+
+class TestResolveParallel:
+    def test_none_means_all_cpus(self):
+        assert resolve_parallel(None) == max(available_cpus(), 1)
+
+    def test_explicit_passthrough(self):
+        assert resolve_parallel(3) == 3
+
+    @pytest.mark.parametrize("bad", [0, -1])
+    def test_rejects_non_positive(self, bad):
+        with pytest.raises(ConfigurationError):
+            resolve_parallel(bad)
+
+
+class TestSerialPath:
+    def test_matches_list_comprehension(self):
+        items = list(range(7))
+        assert parallel_map(_double, items, parallel=1) == [2 * x for x in items]
+
+    def test_empty_items(self):
+        assert parallel_map(_double, [], parallel=1) == []
+
+    def test_single_item_never_spawns(self):
+        # One item short-circuits to in-process execution even with
+        # parallel > 1 — closures stay legal in that case.
+        assert parallel_map(lambda x: x + 1, [41], parallel=8) == [42]
+
+    def test_preserves_order(self):
+        items = [5, 3, 9, 1]
+        assert parallel_map(_double, items, parallel=1) == [10, 6, 18, 2]
+
+
+class TestRunJobs:
+    def test_heterogeneous_jobs_in_order(self):
+        jobs = [(_double, (4,)), (max, (1, 9)), (min, (1, 9))]
+        assert run_jobs(jobs, parallel=1) == [8, 9, 1]
+
+    def test_bare_callables(self):
+        assert run_jobs([list, dict], parallel=1) == [[], {}]
