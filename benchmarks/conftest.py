@@ -9,15 +9,62 @@ registry at a reduced-but-faithful scale (``BENCH_SCALE``), prints the
 reproduced rows/series next to the paper's expectation, and asserts the
 qualitative *shape* (who wins, directions of trends).  Timings reported
 by pytest-benchmark are the cost of regenerating the artifact.
+
+**Trajectory export.**  Every benchmark session additionally records
+the wall-clock of each passed test and writes one ``BENCH_<suite>.json``
+per benchmark module at the repo root (suite = module name without the
+``test_`` prefix), so the perf trajectory of the repo is captured run
+over run — CI uploads the files as artifacts, and
+``scripts/export_bench.py`` drives a full sweep locally.  The files are
+git-ignored; they are measurements, not fixtures.
 """
 
 from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
 
 import pytest
 
 from repro.experiments import ScalePreset
 from repro.reporting import render_result_table
 from repro.simulation.sweep import ExperimentResult
+
+#: Repo root — BENCH_*.json land here.
+_EXPORT_ROOT = Path(__file__).resolve().parent.parent
+
+#: suite name -> {test name -> seconds}, filled by the report hook.
+_TIMINGS: dict[str, dict[str, float]] = {}
+
+
+def pytest_runtest_logreport(report) -> None:
+    """Collect the call-phase duration of every passed benchmark test."""
+    if report.when != "call" or not report.passed:
+        return
+    module_path, _, test_name = report.nodeid.partition("::")
+    stem = Path(module_path).stem
+    if not stem.startswith("test_"):
+        return
+    suite = stem.removeprefix("test_")
+    _TIMINGS.setdefault(suite, {})[test_name] = report.duration
+
+
+def pytest_sessionfinish(session, exitstatus) -> None:
+    """Write one BENCH_<suite>.json per benchmark module that ran."""
+    for suite, timings in _TIMINGS.items():
+        payload = {
+            "suite": suite,
+            "unit": "seconds",
+            "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+            "machine": platform.platform(),
+            "python": platform.python_version(),
+            "total_seconds": round(sum(timings.values()), 6),
+            "timings": {name: round(t, 6) for name, t in sorted(timings.items())},
+        }
+        path = _EXPORT_ROOT / f"BENCH_{suite}.json"
+        path.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
 
 #: Reduced scale for benchmark runs: same claim density (~20 claims per
 #: task at full size), same copier fraction (25%), smaller dimensions.

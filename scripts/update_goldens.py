@@ -26,7 +26,14 @@ GOLDEN_DIR = Path(__file__).resolve().parent.parent / "tests" / "golden"
 def golden_results() -> dict[str, object]:
     """The pinned demo runs (import here so --help stays dependency-free)."""
     from repro.experiments.fig3 import run_fig3a, run_fig3b
+    from repro.experiments.fig67 import run_fig6a, run_fig7a_payments
     from repro.experiments.table1 import run_table1
+
+    #: One shared grid for the auction goldens: the fig6a/fig7a sweeps
+    #: at three task counts — small enough to regenerate in seconds,
+    #: large enough that RA's prefix-shared payments, GA and GB all see
+    #: multi-winner auctions.
+    auction_grid = (40, 80, 120)
 
     return {
         "fig3a": run_fig3a(
@@ -40,6 +47,16 @@ def golden_results() -> dict[str, object]:
             "quick", instances=2, base_seed=7, r_grid=(0.1, 0.4, 0.8)
         ),
         "table1": run_table1(),
+        # The auction stage's deterministic series: fig6a's social cost
+        # and fig7a's total-payment twin (fig7a itself plots wall-clock,
+        # which cannot be pinned).  Any drift in DATE, the SOAC build,
+        # or either auction engine shows up here point by point.
+        "fig6a": run_fig6a(
+            "quick", instances=2, base_seed=7, task_grid=auction_grid
+        ),
+        "fig7a_payments": run_fig7a_payments(
+            "quick", instances=2, base_seed=7, task_grid=auction_grid
+        ),
     }
 
 

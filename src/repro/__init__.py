@@ -33,7 +33,13 @@ Quickstart::
     print("winners:", len(outcome.winners))
 """
 
-from .auction import AuctionOutcome, ReverseAuction, SOACInstance, solve_optimal
+from .auction import (
+    AuctionConfig,
+    AuctionOutcome,
+    ReverseAuction,
+    SOACInstance,
+    solve_optimal,
+)
 from .baselines import (
     EnumerateDependence,
     GreedyAccuracy,
@@ -81,6 +87,7 @@ from .types import Bid, Dataset, Task, WorkerProfile
 __version__ = "1.0.0"
 
 __all__ = [
+    "AuctionConfig",
     "AuctionOutcome",
     "Bid",
     "CampaignStore",

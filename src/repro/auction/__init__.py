@@ -2,10 +2,15 @@
 
 - :mod:`repro.auction.soac` — the Social Optimization Accuracy
   Coverage problem (Eqs. 4-6): instance container, feasibility checks,
-  and cost accounting;
+  cost accounting, and the CSR/CSC accuracy index;
+- :mod:`repro.auction.config` — :class:`AuctionConfig`, the knobs of
+  the auction stage including the engine (``backend``) selection;
 - :mod:`repro.auction.reverse_auction` — Alg. 2: greedy winner
   selection by effective accuracy unit cost plus critical-value
-  payments;
+  payments (the scalar reference engine lives here);
+- :mod:`repro.auction.engine` — the vectorized engine: batched
+  selection over the sparse accuracy index and prefix-shared payment
+  reruns, bit-identical to the reference (DESIGN.md §10);
 - :mod:`repro.auction.optimal` — exact optimum via integer linear
   programming (scipy), for approximation-ratio studies on small
   instances;
@@ -14,6 +19,7 @@
   monotonicity, approximation bound 2eH_Ω).
 """
 
+from .config import AuctionConfig
 from .optimal import solve_optimal
 from .properties import (
     approximation_bound,
@@ -23,12 +29,14 @@ from .properties import (
     verify_truthfulness,
 )
 from .reverse_auction import AuctionOutcome, ReverseAuction
-from .soac import SOACInstance
+from .soac import SOACInstance, SparseAccuracy
 
 __all__ = [
+    "AuctionConfig",
     "AuctionOutcome",
     "ReverseAuction",
     "SOACInstance",
+    "SparseAccuracy",
     "approximation_bound",
     "bid_utility_curve",
     "solve_optimal",

@@ -23,6 +23,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..errors import ConfigurationError
+from .config import AuctionConfig
 from .reverse_auction import AuctionOutcome, ReverseAuction
 from .soac import SOACInstance
 
@@ -62,6 +64,7 @@ def bid_utility_curve(
     bid_grid: Sequence[float],
     *,
     auction: ReverseAuction | None = None,
+    auction_config: AuctionConfig | None = None,
 ) -> list[BidUtilityPoint]:
     """Utility of one worker as a function of its declared bid.
 
@@ -70,7 +73,11 @@ def bid_utility_curve(
     property forbids from ever being profitable.  This regenerates the
     Fig. 8 curves.
     """
-    auction = auction or ReverseAuction()
+    if auction is not None and auction_config is not None:
+        raise ConfigurationError(
+            "pass either auction or auction_config, not both"
+        )
+    auction = auction or ReverseAuction(auction_config)
     worker_index = instance.worker_ids.index(worker_id)
     true_cost = float(instance.costs[worker_index])
     points = []
@@ -91,10 +98,15 @@ def verify_truthfulness(
     bid_grid: Sequence[float],
     *,
     auction: ReverseAuction | None = None,
+    auction_config: AuctionConfig | None = None,
     tolerance: float = 1e-9,
 ) -> bool:
     """No bid in ``bid_grid`` may beat bidding the true cost (Lemma 3)."""
-    auction = auction or ReverseAuction()
+    if auction is not None and auction_config is not None:
+        raise ConfigurationError(
+            "pass either auction or auction_config, not both"
+        )
+    auction = auction or ReverseAuction(auction_config)
     worker_index = instance.worker_ids.index(worker_id)
     true_cost = float(instance.costs[worker_index])
     truthful_outcome = auction.run(instance.with_bid(worker_index, true_cost))
@@ -109,12 +121,17 @@ def verify_monotonicity(
     *,
     lower_bids: Iterable[float] | None = None,
     auction: ReverseAuction | None = None,
+    auction_config: AuctionConfig | None = None,
 ) -> bool:
     """A winner at bid ``b_i`` must still win at any lower bid (Theorem 2).
 
     Vacuously true if the worker loses at its current bid.
     """
-    auction = auction or ReverseAuction()
+    if auction is not None and auction_config is not None:
+        raise ConfigurationError(
+            "pass either auction or auction_config, not both"
+        )
+    auction = auction or ReverseAuction(auction_config)
     worker_index = instance.worker_ids.index(worker_id)
     current_bid = float(instance.bids[worker_index])
     baseline = auction.run(instance)

@@ -23,6 +23,14 @@ Degenerate case: if ``W \\ {i}`` cannot cover the requirements, worker
 ``i`` is a *monopolist* and its critical value is unbounded; the
 auction then pays ``monopoly_payment_factor · b_i`` and records the
 worker in :attr:`AuctionOutcome.monopolists` (see DESIGN.md §4).
+
+Two interchangeable engines execute the algorithm —
+:class:`~repro.auction.config.AuctionConfig` selects one.  This module
+holds the scalar ``"reference"`` transcription (per-worker loops, the
+payment phase rerunning the greedy from scratch per winner);
+:mod:`repro.auction.engine` is the ``"vectorized"`` default (fleet-wide
+batched selection, prefix-shared payment reruns) producing bit-identical
+outcomes (DESIGN.md §10).
 """
 
 from __future__ import annotations
@@ -31,10 +39,16 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..errors import ConfigurationError, InfeasibleCoverageError
+from ..errors import InfeasibleCoverageError
+from .config import AuctionConfig
 from .soac import COVERAGE_TOL, SOACInstance
 
-__all__ = ["AuctionOutcome", "ReverseAuction", "greedy_cover"]
+__all__ = [
+    "AuctionOutcome",
+    "ReverseAuction",
+    "greedy_cover",
+    "reference_payments",
+]
 
 
 @dataclass(frozen=True, eq=False)
@@ -70,13 +84,6 @@ class AuctionOutcome:
         return self.payments[worker_id] - cost
 
 
-def _marginal_coverage(
-    accuracy_row: np.ndarray, residual: np.ndarray
-) -> float:
-    """``Σ_j min(Θ'_j, A_k^j)`` — the capped coverage a worker adds."""
-    return float(np.minimum(residual, accuracy_row).sum())
-
-
 def greedy_cover(
     instance: SOACInstance,
     *,
@@ -87,78 +94,136 @@ def greedy_cover(
     ``exclude`` removes one worker from consideration (the payment
     phase's ``W \\ {i}``).  Raises :class:`InfeasibleCoverageError` when
     the remaining workers cannot cover the requirements.
+
+    One capped-coverage buffer is reused across every marginal
+    evaluation and residual update, so the only per-round allocation is
+    the recorded residual snapshot.
     """
     residual = instance.requirements.astype(np.float64).copy()
-    available = [i for i in range(instance.n_workers) if i != exclude]
+    capped = np.empty_like(residual)
+    accuracy = instance.accuracy
+    bids = instance.bids
     chosen: list[tuple[int, np.ndarray]] = []
     selected: set[int] = set()
     while residual.sum() > COVERAGE_TOL:
         best_worker = -1
         best_ratio = np.inf
-        for k in available:
-            if k in selected:
+        for k in range(instance.n_workers):
+            if k == exclude or k in selected:
                 continue
-            marginal = _marginal_coverage(instance.accuracy[k], residual)
+            np.minimum(residual, accuracy[k], out=capped)
+            marginal = capped.sum()
             if marginal <= COVERAGE_TOL:
                 continue
-            ratio = instance.bids[k] / marginal
+            ratio = bids[k] / marginal
             if ratio < best_ratio or (ratio == best_ratio and k < best_worker):
                 best_ratio = ratio
                 best_worker = k
         if best_worker < 0:
-            uncovered = instance.uncovered_tasks(selected)
+            uncovered = instance.uncovered_tasks(sorted(selected))
             raise InfeasibleCoverageError(uncovered)
         chosen.append((best_worker, residual.copy()))
         selected.add(best_worker)
-        residual = np.maximum(
-            residual - np.minimum(residual, instance.accuracy[best_worker]), 0.0
-        )
+        np.minimum(residual, accuracy[best_worker], out=capped)
+        residual -= capped
+        np.maximum(residual, 0.0, out=residual)
     return chosen
 
 
+def reference_payments(
+    instance: SOACInstance,
+    selection: list[tuple[int, np.ndarray]],
+    *,
+    monopoly_payment_factor: float = 1.0,
+) -> tuple[dict[str, float], list[str]]:
+    """Payment phase of Alg. 2 (lines 9-20), scalar transcription.
+
+    Reruns the *entire* greedy cover over ``W \\ {i}`` once per winner
+    — the O(W³·T) hot path the vectorized engine's prefix sharing
+    eliminates.  Returns ``(payments, monopolists)``.
+    """
+    payments: dict[str, float] = {}
+    monopolists: list[str] = []
+    capped = np.empty(instance.n_tasks, dtype=np.float64)
+    for i, _ in selection:
+        worker_id = instance.worker_ids[i]
+        try:
+            replacement_run = greedy_cover(instance, exclude=i)
+        except InfeasibleCoverageError:
+            # Monopolist: no replacement set exists without i.
+            payments[worker_id] = monopoly_payment_factor * float(
+                instance.bids[i]
+            )
+            monopolists.append(worker_id)
+            continue
+        payment = 0.0
+        accuracy_i = instance.accuracy[i]
+        for k, residual in replacement_run:
+            np.minimum(residual, accuracy_i, out=capped)
+            own = capped.sum()
+            np.minimum(residual, instance.accuracy[k], out=capped)
+            other = capped.sum()
+            if other <= COVERAGE_TOL:
+                continue
+            payment = max(payment, float(instance.bids[k]) * own / other)
+        payments[worker_id] = float(payment)
+    return payments, monopolists
+
+
 class ReverseAuction:
-    """IMC2's auction stage (Alg. 2)."""
+    """IMC2's auction stage (Alg. 2).
+
+    Accepts an :class:`~repro.auction.config.AuctionConfig` (or the
+    individual knobs as keyword overrides).  The ``backend`` knob picks
+    the execution engine; outcomes are identical either way.
+    """
 
     method_name = "RA"
 
-    def __init__(self, *, monopoly_payment_factor: float = 1.0):
-        if monopoly_payment_factor < 1.0:
-            raise ConfigurationError(
-                "monopoly_payment_factor must be >= 1 (a winner must never "
-                "be paid below its bid)"
-            )
-        self.monopoly_payment_factor = monopoly_payment_factor
+    def __init__(
+        self,
+        config: AuctionConfig | None = None,
+        *,
+        monopoly_payment_factor: float | None = None,
+        backend: str | None = None,
+    ):
+        base = config if config is not None else AuctionConfig()
+        changes: dict[str, object] = {}
+        if monopoly_payment_factor is not None:
+            changes["monopoly_payment_factor"] = monopoly_payment_factor
+        if backend is not None:
+            changes["backend"] = backend
+        self.config = base.evolve(**changes) if changes else base
+
+    @property
+    def backend(self) -> str:
+        return self.config.backend
+
+    @property
+    def monopoly_payment_factor(self) -> float:
+        return self.config.monopoly_payment_factor
 
     def run(self, instance: SOACInstance) -> AuctionOutcome:
         """Select winners and compute critical payments."""
         instance.check_feasible()
 
-        # --- Winner selection phase (Alg. 2 lines 1-8) ---
-        selection = greedy_cover(instance)
-        winners = [worker for worker, _ in selection]
+        if self.config.backend == "vectorized":
+            from .engine import run_auction
 
-        # --- Payment determination phase (Alg. 2 lines 9-20) ---
-        payments: dict[str, float] = {}
-        monopolists: list[str] = []
-        for i in winners:
-            worker_id = instance.worker_ids[i]
-            try:
-                replacement_run = greedy_cover(instance, exclude=i)
-            except InfeasibleCoverageError:
-                # Monopolist: no replacement set exists without i.
-                payments[worker_id] = (
-                    self.monopoly_payment_factor * float(instance.bids[i])
-                )
-                monopolists.append(worker_id)
-                continue
-            payment = 0.0
-            for k, residual in replacement_run:
-                own = _marginal_coverage(instance.accuracy[i], residual)
-                other = _marginal_coverage(instance.accuracy[k], residual)
-                if other <= COVERAGE_TOL:
-                    continue
-                payment = max(payment, float(instance.bids[k]) * own / other)
-            payments[worker_id] = payment
+            winners, payments, monopolists = run_auction(
+                instance,
+                monopoly_payment_factor=self.config.monopoly_payment_factor,
+            )
+        else:
+            # --- Winner selection phase (Alg. 2 lines 1-8) ---
+            selection = greedy_cover(instance)
+            winners = [worker for worker, _ in selection]
+            # --- Payment determination phase (Alg. 2 lines 9-20) ---
+            payments, monopolists = reference_payments(
+                instance,
+                selection,
+                monopoly_payment_factor=self.config.monopoly_payment_factor,
+            )
 
         total_payment = float(sum(payments.values()))
         return AuctionOutcome(

@@ -23,10 +23,78 @@ from ..core.date import TruthDiscoveryResult
 from ..errors import ConfigurationError, InfeasibleCoverageError
 from ..types import Bid, Dataset
 
-__all__ = ["SOACInstance"]
+__all__ = ["SOACInstance", "SparseAccuracy"]
 
 #: Requirements below this tolerance count as fully covered.
 COVERAGE_TOL = 1e-9
+
+
+@dataclass(frozen=True)
+class SparseAccuracy:
+    """CSR + CSC index of the non-zero accuracy entries of an instance.
+
+    Workers only cover the tasks they bid (``A_i^j = 0`` elsewhere), so
+    the accuracy matrix is sparse in any realistic campaign.  The
+    vectorized auction engine uses this structure for its *incremental*
+    bookkeeping — which task columns a selected winner changes, and
+    which worker rows are affected by those columns — while the capped
+    coverage sums themselves stay dense so they are bit-identical to
+    the scalar reference (DESIGN.md §10).
+
+    Attributes
+    ----------
+    row_ptr / row_cols:
+        CSR layout: ``row_cols[row_ptr[i]:row_ptr[i+1]]`` are the task
+        columns worker ``i`` covers.
+    col_ptr / col_rows:
+        CSC layout: ``col_rows[col_ptr[j]:col_ptr[j+1]]`` are the
+        worker rows with positive accuracy on task ``j``.
+    """
+
+    row_ptr: np.ndarray
+    row_cols: np.ndarray
+    col_ptr: np.ndarray
+    col_rows: np.ndarray
+
+    @classmethod
+    def from_dense(cls, accuracy: np.ndarray) -> "SparseAccuracy":
+        n, m = accuracy.shape
+        rows, cols = np.nonzero(accuracy)  # row-major order == CSR order
+        row_ptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(np.bincount(rows, minlength=n), out=row_ptr[1:])
+        order = np.argsort(cols, kind="stable")
+        col_ptr = np.zeros(m + 1, dtype=np.int64)
+        np.cumsum(np.bincount(cols, minlength=m), out=col_ptr[1:])
+        return cls(
+            row_ptr=row_ptr,
+            row_cols=cols,
+            col_ptr=col_ptr,
+            col_rows=rows[order],
+        )
+
+    @property
+    def nnz(self) -> int:
+        return len(self.row_cols)
+
+    def tasks_of(self, worker: int) -> np.ndarray:
+        """Task columns one worker covers (a CSR row slice)."""
+        return self.row_cols[self.row_ptr[worker] : self.row_ptr[worker + 1]]
+
+    def workers_on(self, tasks: np.ndarray) -> np.ndarray:
+        """Sorted unique worker rows touching any of the given tasks."""
+        tasks = np.asarray(tasks, dtype=np.int64)
+        if tasks.size == 0:
+            return np.empty(0, dtype=np.int64)
+        starts = self.col_ptr[tasks]
+        counts = self.col_ptr[tasks + 1] - starts
+        total = int(counts.sum())
+        if total == 0:
+            return np.empty(0, dtype=np.int64)
+        # Flat gather of every CSC segment: offset each segment's local
+        # arange by its start (the standard repeat/cumsum ranges trick).
+        segment_first = np.repeat(np.cumsum(counts) - counts, counts)
+        flat = np.repeat(starts, counts) + (np.arange(total) - segment_first)
+        return np.unique(self.col_rows[flat])
 
 
 @dataclass(frozen=True, eq=False)
@@ -172,6 +240,15 @@ class SOACInstance:
     @property
     def n_tasks(self) -> int:
         return len(self.task_ids)
+
+    @property
+    def sparse_accuracy(self) -> SparseAccuracy:
+        """CSR/CSC index of the non-zero accuracies (built once, cached)."""
+        cached = self.__dict__.get("_sparse_accuracy")
+        if cached is None:
+            cached = SparseAccuracy.from_dense(self.accuracy)
+            object.__setattr__(self, "_sparse_accuracy", cached)
+        return cached
 
     def coverage(self, selected: Iterable[int]) -> np.ndarray:
         """Total accuracy ``Σ_{i∈S} A_i^j`` per task for a worker-index set."""

@@ -32,6 +32,7 @@ from .indexing import ClaimArrays, segment_first_argmax_code
 
 __all__ = [
     "DependenceArrays",
+    "DirectedDependenceLookup",
     "pairwise_dependence_arrays",
     "independence_flat",
     "plain_posterior_groups",
@@ -70,15 +71,55 @@ class DependenceArrays:
     def directed_matrix(self, arrays: ClaimArrays) -> np.ndarray:
         """Dense ``D[i, k] = P(i -> k | D)`` lookup (0 where undefined).
 
-        O(n_workers²) memory — fine for the paper-scale worlds this
-        repo simulates; swap for a hash/CSR lookup before pointing the
-        engine at crowds of millions (DESIGN.md §7).
+        O(n_workers²) memory — only appropriate for deliberately small
+        worlds (the exponential ED baseline).  Production paths use
+        :class:`DirectedDependenceLookup`, which is O(pairs).
         """
         n = arrays.index.n_workers
         matrix = np.zeros((n, n), dtype=np.float64)
         matrix[arrays.pair_a, arrays.pair_b] = self.p_ab
         matrix[arrays.pair_b, arrays.pair_a] = self.p_ba
         return matrix
+
+
+@dataclass(frozen=True)
+class DirectedDependenceLookup:
+    """O(pairs) lookup of ``P(i -> k | D)`` over sorted integer keys.
+
+    The sparse replacement for :meth:`DependenceArrays.directed_matrix`:
+    each directed pair is keyed as ``i * n_workers + k`` and stored
+    sorted, so an arbitrary batch of ``(i, k)`` queries is one
+    ``searchsorted`` — memory stays O(pairs) where the dense matrix is
+    O(n_workers²).  Pairs that never co-answered (and the diagonal)
+    resolve to 0, exactly as the dense matrix's unset entries.
+    """
+
+    keys: np.ndarray
+    values: np.ndarray
+    n_workers: int
+
+    @classmethod
+    def build(
+        cls, arrays: ClaimArrays, dependence: DependenceArrays
+    ) -> "DirectedDependenceLookup":
+        n = arrays.index.n_workers
+        a = arrays.pair_a.astype(np.int64)
+        b = arrays.pair_b.astype(np.int64)
+        keys = np.concatenate([a * n + b, b * n + a])
+        values = np.concatenate([dependence.p_ab, dependence.p_ba])
+        order = np.argsort(keys)
+        return cls(keys=keys[order], values=values[order], n_workers=n)
+
+    def gather(self, src: np.ndarray, dst: np.ndarray) -> np.ndarray:
+        """``D[src, dst]`` for broadcastable index arrays (0 where unset)."""
+        query = src.astype(np.int64) * self.n_workers + dst
+        if self.keys.size == 0:
+            return np.zeros(query.shape, dtype=np.float64)
+        position = np.searchsorted(self.keys, query)
+        position = np.minimum(position, len(self.keys) - 1)
+        return np.where(
+            self.keys[position] == query, self.values[position], 0.0
+        )
 
 
 def pairwise_dependence_arrays(
@@ -163,9 +204,9 @@ def independence_flat(
 
     The greedy ordering inside each multi-provider value group is
     inherently sequential in the group *size*, but not across groups:
-    all groups of one size run batched (``(G, m, m)`` tensors over a
-    dense directed-dependence lookup), so the Python loop is one step
-    per distinct group size — not per group.  Single-provider groups
+    all groups of one size run batched (``(G, m, m)`` tensors gathered
+    through the O(pairs) :class:`DirectedDependenceLookup`), so the
+    Python loop is one step per distinct group size — not per group.  Single-provider groups
     keep the definitional ``I = 1`` without being visited at all.
 
     Ordering and tie-break rules replicate
@@ -190,10 +231,12 @@ def independence_flat(
     if not buckets:
         return indep
 
-    directed = dependence.directed_matrix(arrays)
+    # O(pairs) sorted-key lookup — the dense n_workers² matrix is never
+    # materialized, so dependence memory scales with co-answering pairs.
+    directed = DirectedDependenceLookup.build(arrays, dependence)
     for m, claim_idx in buckets:
         members = arrays.claim_worker[claim_idx]  # (G, m)
-        sub = directed[members[:, :, None], members[:, None, :]]  # (G, m, m)
+        sub = directed.gather(members[:, :, None], members[:, None, :])  # (G, m, m)
         total_sub = sub + sub.transpose(0, 2, 1)
         totals = total_sub.sum(axis=2)
         if ordering == "dependent_first":

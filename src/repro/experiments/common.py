@@ -39,6 +39,7 @@ from ..baselines import (
 )
 from ..core.config import DateConfig
 from ..core.date import DATE
+from ..auction.config import AuctionConfig
 from ..auction.reverse_auction import ReverseAuction
 from ..errors import ConfigurationError
 from ..simulation.config import ExperimentConfig
@@ -155,10 +156,17 @@ def truth_algorithms(
     return algorithms
 
 
-def auction_algorithms() -> dict[str, Any]:
-    """Fresh instances of the Fig. 6/7 competitors, keyed by method name."""
+def auction_algorithms(
+    auction_config: AuctionConfig | None = None,
+) -> dict[str, Any]:
+    """Fresh instances of the Fig. 6/7 competitors, keyed by method name.
+
+    ``auction_config`` selects RA's engine backend (vectorized by
+    default); outcomes are backend-independent, so sweeps can pit the
+    engines against each other on wall-clock alone.
+    """
     return {
-        "RA": ReverseAuction(),
+        "RA": ReverseAuction(auction_config),
         "GA": GreedyAccuracy(),
         "GB": GreedyBid(),
     }

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 
+from ..auction.config import AuctionConfig
 from ..auction.soac import SOACInstance
 from ..core.date import DATE
 from ..core.indexing import DatasetIndex
@@ -29,7 +30,13 @@ from ..simulation.sweep import ExperimentResult, sweep_series
 from ..simulation.timing import timed
 from .common import ScalePreset, auction_algorithms, base_config, resolve_scale
 
-__all__ = ["run_fig6a", "run_fig6b", "run_fig7a", "run_fig7b"]
+__all__ = [
+    "run_fig6a",
+    "run_fig6b",
+    "run_fig7a",
+    "run_fig7a_payments",
+    "run_fig7b",
+]
 
 #: Feasibility cap applied at every sweep point.
 REQUIREMENT_CAP = 0.8
@@ -51,6 +58,7 @@ def _run(
     base_seed: int,
     grid: Sequence[int] | None,
     paper_expectation: str,
+    auction_config: AuctionConfig | None = None,
 ) -> ExperimentResult:
     preset = resolve_scale(scale)
     config = base_config(preset, instances=instances, base_seed=base_seed)
@@ -81,9 +89,14 @@ def _run(
         sums: dict[str, float] = {}
         for k in range(len(datasets)):
             instance = soac_for(k, size)
-            for name, algorithm in auction_algorithms().items():
+            for name, algorithm in auction_algorithms(auction_config).items():
                 outcome, seconds = timed(algorithm.run, instance)
-                value = outcome.social_cost if metric == "social_cost" else seconds
+                if metric == "social_cost":
+                    value = outcome.social_cost
+                elif metric == "total_payment":
+                    value = outcome.total_payment
+                else:
+                    value = seconds
                 sums[name] = sums.get(name, 0.0) + value
         return {name: total / len(datasets) for name, total in sums.items()}
 
@@ -91,7 +104,10 @@ def _run(
         experiment_id,
         title,
         f"number of {vary}",
-        "social cost" if metric == "social_cost" else "seconds",
+        {
+            "social_cost": "social cost",
+            "total_payment": "total payment",
+        }.get(metric, "seconds"),
         grid,
         point,
         meta={
@@ -100,6 +116,7 @@ def _run(
             "instances": config.instances,
             "base_seed": base_seed,
             "scale": preset.name,
+            "auction_backend": (auction_config or AuctionConfig()).backend,
         },
     )
 
@@ -110,6 +127,7 @@ def run_fig6a(
     instances: int | None = None,
     base_seed: int = 42,
     task_grid: Sequence[int] | None = None,
+    auction_config: AuctionConfig | None = None,
 ) -> ExperimentResult:
     """Social cost vs. number of tasks for RA / GA / GB."""
     return _run(
@@ -123,6 +141,7 @@ def run_fig6a(
         task_grid,
         "social cost rises with tasks; RA cheapest (avg -59.4% vs GA, "
         "-40.2% vs GB)",
+        auction_config=auction_config,
     )
 
 
@@ -132,6 +151,7 @@ def run_fig6b(
     instances: int | None = None,
     base_seed: int = 42,
     worker_grid: Sequence[int] | None = None,
+    auction_config: AuctionConfig | None = None,
 ) -> ExperimentResult:
     """Social cost vs. number of workers for RA / GA / GB."""
     return _run(
@@ -144,6 +164,7 @@ def run_fig6b(
         base_seed,
         worker_grid,
         "social cost falls with workers; RA cheapest throughout",
+        auction_config=auction_config,
     )
 
 
@@ -153,6 +174,7 @@ def run_fig7a(
     instances: int | None = None,
     base_seed: int = 42,
     task_grid: Sequence[int] | None = None,
+    auction_config: AuctionConfig | None = None,
 ) -> ExperimentResult:
     """Auction running time vs. number of tasks for RA / GA / GB."""
     return _run(
@@ -166,6 +188,7 @@ def run_fig7a(
         task_grid,
         "running time rises with tasks; RA (O(n^3 m)) slowest, "
         "GA (O(n^3)) next, GB (O(n^2)) fastest",
+        auction_config=auction_config,
     )
 
 
@@ -175,6 +198,7 @@ def run_fig7b(
     instances: int | None = None,
     base_seed: int = 42,
     worker_grid: Sequence[int] | None = None,
+    auction_config: AuctionConfig | None = None,
 ) -> ExperimentResult:
     """Auction running time vs. number of workers for RA / GA / GB."""
     return _run(
@@ -187,4 +211,37 @@ def run_fig7b(
         base_seed,
         worker_grid,
         "running time rises with workers; RA slowest, GB fastest",
+        auction_config=auction_config,
+    )
+
+
+def run_fig7a_payments(
+    scale: str | ScalePreset = "quick",
+    *,
+    instances: int | None = None,
+    base_seed: int = 42,
+    task_grid: Sequence[int] | None = None,
+    auction_config: AuctionConfig | None = None,
+) -> ExperimentResult:
+    """Total payment vs. number of tasks — fig7a's deterministic twin.
+
+    Fig. 7a itself plots wall-clock, which no golden fixture can pin;
+    this companion runs the *same sweep* (same datasets, same DATE
+    runs, same auctions) but records each method's total payment, so
+    the whole fig6/fig7 auction pipeline has a seed-reproducible series
+    for regression pinning (tests/golden/fig7a_payments.json).
+    """
+    return _run(
+        "fig7a-payments",
+        "Total auction payment versus number of tasks",
+        "total_payment",
+        "tasks",
+        scale,
+        instances,
+        base_seed,
+        task_grid,
+        "companion series (not a paper figure): RA's critical payments "
+        "exceed its bids but its winner sets stay cheap; payments rise "
+        "with tasks like the social cost",
+        auction_config=auction_config,
     )

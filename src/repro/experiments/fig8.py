@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..auction.config import AuctionConfig
 from ..auction.properties import bid_utility_curve
 from ..auction.reverse_auction import AuctionOutcome, ReverseAuction
 from ..auction.soac import SOACInstance
@@ -39,8 +40,10 @@ def _prepare_instance(
 
 
 def _competitive_instance(
-    scale: str | ScalePreset, base_seed: int
-) -> tuple[SOACInstance, "AuctionOutcome"]:
+    scale: str | ScalePreset,
+    base_seed: int,
+    auction_config: AuctionConfig | None = None,
+) -> tuple[SOACInstance, "AuctionOutcome", ReverseAuction]:
     """An instance whose auction has at least one replaceable winner.
 
     Truthfulness (Lemma 3) presumes every winner has a replacement set;
@@ -50,7 +53,7 @@ def _competitive_instance(
     monopolist, so we lower the requirement cap — increasing slack and
     competition — until a non-monopolist winner exists.
     """
-    auction = ReverseAuction()
+    auction = ReverseAuction(auction_config)
     for cap in (REQUIREMENT_CAP, 0.6, 0.4, 0.25):
         instance = _prepare_instance(scale, base_seed, cap=cap)
         outcome = auction.run(instance)
@@ -58,7 +61,7 @@ def _competitive_instance(
             w for w in outcome.winner_ids if w not in outcome.monopolists
         ]
         if replaceable:
-            return instance, outcome
+            return instance, outcome, auction
     raise RuntimeError(
         "no competitive auction configuration found; use a larger scale"
     )
@@ -79,11 +82,12 @@ def _curve_result(
     points: int,
     paper_expectation: str,
     base_seed: int,
+    auction: ReverseAuction,
 ) -> ExperimentResult:
     worker_index = instance.worker_ids.index(worker_id)
     true_cost = float(instance.costs[worker_index])
     grid = _bid_grid(true_cost, points)
-    curve = bid_utility_curve(instance, worker_id, grid)
+    curve = bid_utility_curve(instance, worker_id, grid, auction=auction)
     truthful = next(
         point for point in curve if abs(point.bid - true_cost) < 1e-9
     )
@@ -113,6 +117,7 @@ def run_fig8a(
     *,
     base_seed: int = 42,
     points: int = 15,
+    auction_config: AuctionConfig | None = None,
 ) -> ExperimentResult:
     """Utility vs. declared bid for a *winner* (paper's worker 26).
 
@@ -120,7 +125,9 @@ def run_fig8a(
     payment so the curve shows both regimes: below the critical value
     (wins, payment unchanged) and above it (loses, utility 0).
     """
-    instance, outcome = _competitive_instance(scale, base_seed)
+    instance, outcome, auction = _competitive_instance(
+        scale, base_seed, auction_config
+    )
     ranked = sorted(
         (w for w in outcome.winner_ids if w not in outcome.monopolists),
         key=outcome.payments.__getitem__,
@@ -136,6 +143,7 @@ def run_fig8a(
         "drops to 0 once the bid exceeds the critical value "
         "(paper: winner 26 keeps utility 5 when truthful)",
         base_seed,
+        auction,
     )
 
 
@@ -144,6 +152,7 @@ def run_fig8b(
     *,
     base_seed: int = 42,
     points: int = 15,
+    auction_config: AuctionConfig | None = None,
 ) -> ExperimentResult:
     """Utility vs. declared bid for a *loser* (paper's worker 58).
 
@@ -151,7 +160,9 @@ def run_fig8b(
     could plausibly win by underbidding — which is exactly the
     manipulation that must not be profitable).
     """
-    instance, outcome = _competitive_instance(scale, base_seed)
+    instance, outcome, auction = _competitive_instance(
+        scale, base_seed, auction_config
+    )
     winners = set(outcome.winner_ids)
     losers = [w for w in instance.worker_ids if w not in winners]
     if not losers:
@@ -171,4 +182,5 @@ def run_fig8b(
         "may win but yields negative utility (paper: loser 58 stays at "
         "non-negative utility only when truthful)",
         base_seed,
+        auction,
     )

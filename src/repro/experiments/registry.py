@@ -17,7 +17,7 @@ from .approx import run_approx
 from .fig3 import run_fig3a, run_fig3b
 from .fig45 import run_fig4a, run_fig4b, run_fig5a, run_fig5b
 from .fig_adversary import run_adversary_f1, run_adversary_precision
-from .fig67 import run_fig6a, run_fig6b, run_fig7a, run_fig7b
+from .fig67 import run_fig6a, run_fig6b, run_fig7a, run_fig7a_payments, run_fig7b
 from .fig8 import run_fig8a, run_fig8b
 from .table1 import run_table1
 from .winners import run_winners_quality
@@ -68,6 +68,12 @@ _register("fig6a", "Fig. 6a", "Social cost vs number of tasks (RA/GA/GB)", run_f
 _register("fig6b", "Fig. 6b", "Social cost vs number of workers (RA/GA/GB)", run_fig6b)
 _register("fig7a", "Fig. 7a", "Auction runtime vs number of tasks (RA/GA/GB)", run_fig7a)
 _register("fig7b", "Fig. 7b", "Auction runtime vs number of workers (RA/GA/GB)", run_fig7b)
+_register(
+    "fig7a-payments",
+    "Fig. 7a (companion)",
+    "Total auction payment vs number of tasks (deterministic twin of fig7a)",
+    run_fig7a_payments,
+)
 _register("fig8a", "Fig. 8a", "Truthfulness: winner utility vs declared bid", run_fig8a)
 _register("fig8b", "Fig. 8b", "Truthfulness: loser utility vs declared bid", run_fig8b)
 _register(

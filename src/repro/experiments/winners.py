@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 
+from ..auction.config import AuctionConfig
 from ..auction.reverse_auction import ReverseAuction
 from ..auction.soac import SOACInstance
 from ..core.date import DATE
@@ -38,6 +39,7 @@ def run_winners_quality(
     instances: int | None = None,
     base_seed: int = 42,
     requirement_scales: Sequence[float] = (0.25, 0.5, 0.75, 1.0),
+    auction_config: AuctionConfig | None = None,
 ) -> ExperimentResult:
     """Measure truth-discovery precision using only auction winners.
 
@@ -46,7 +48,7 @@ def run_winners_quality(
     """
     config = base_config(scale, instances=instances, base_seed=base_seed)
     datasets = config.datasets()
-    auction = ReverseAuction()
+    auction = ReverseAuction(auction_config)
 
     prepared = []
     for dataset in datasets:

@@ -20,10 +20,12 @@ from __future__ import annotations
 from collections.abc import Mapping, Sequence
 from dataclasses import dataclass
 
+from ..auction.config import AuctionConfig
 from ..auction.reverse_auction import AuctionOutcome, ReverseAuction
 from ..auction.soac import SOACInstance
 from ..core.config import DateConfig
 from ..core.date import DATE, TruthDiscoveryResult
+from ..errors import ConfigurationError
 from ..types import Bid, Dataset
 
 __all__ = ["IMC2", "IMC2Outcome"]
@@ -80,6 +82,12 @@ class IMC2:
         ablations that pair the auction with MV/NC/ED accuracies).
     auction:
         Override stage 2 (defaults to the paper's reverse auction).
+    auction_config:
+        Knobs for the default stage-2 auction — engine backend and
+        monopolist payment factor (:class:`~repro.auction.config.
+        AuctionConfig`).  Mutually exclusive with ``auction``; both
+        backends price identically, so this only matters for speed and
+        auditing.
     requirement_cap:
         When set (in ``(0, 1]``), cap each task's requirement at this
         fraction of its total available accuracy before the auction
@@ -94,10 +102,15 @@ class IMC2:
         *,
         truth_algorithm=None,
         auction: ReverseAuction | None = None,
+        auction_config: AuctionConfig | None = None,
         requirement_cap: float | None = None,
     ):
+        if auction is not None and auction_config is not None:
+            raise ConfigurationError(
+                "pass either auction or auction_config, not both"
+            )
         self.truth_algorithm = truth_algorithm or DATE(date_config)
-        self.auction = auction or ReverseAuction()
+        self.auction = auction or ReverseAuction(auction_config)
         self.requirement_cap = requirement_cap
 
     def run(

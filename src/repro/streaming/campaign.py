@@ -15,6 +15,7 @@ import time
 from collections import OrderedDict
 from collections.abc import Iterable
 
+from ..auction.config import AuctionConfig
 from ..core.config import DateConfig
 from ..core.date import TruthDiscoveryResult
 from ..errors import ConfigurationError, ReproError
@@ -227,13 +228,18 @@ class CampaignStore:
             return campaign.online.worker_accuracy
 
     def auction(
-        self, campaign_id: str, *, requirement_cap: float | None = None
+        self,
+        campaign_id: str,
+        *,
+        requirement_cap: float | None = None,
+        auction_config: AuctionConfig | None = None,
     ) -> IMC2Outcome:
         """Run the IMC2 mechanism on a campaign's accumulated data.
 
         Stage 1 reuses a fresh full refresh (so the auction prices
         exact, not incrementally approximated, accuracies); stage 2 is
-        the standard reverse auction over truthful bids.
+        the reverse auction over truthful bids, on the vectorized
+        engine unless ``auction_config`` selects otherwise.
         """
         campaign = self.get(campaign_id)
         with campaign.lock:
@@ -241,6 +247,7 @@ class CampaignStore:
             campaign.last_update = time.time()
             mechanism = IMC2(
                 truth_algorithm=_SnapshotTruth(truth),
+                auction_config=auction_config,
                 requirement_cap=requirement_cap,
             )
             return mechanism.run(campaign.online.dataset)

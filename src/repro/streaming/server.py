@@ -20,7 +20,9 @@ Routes (all bodies JSON):
 - ``GET  /campaigns/<id>/truths`` — current truths + confidence;
 - ``GET  /campaigns/<id>/workers`` — worker reputations;
 - ``POST /campaigns/<id>/refresh`` — force a full re-estimation;
-- ``POST /campaigns/<id>/auction`` — run IMC2 (``{"cap": 0.8}``).
+- ``POST /campaigns/<id>/auction`` — run IMC2 (``{"cap": 0.8,
+  "backend": "vectorized"}``; ``backend`` selects the auction engine,
+  same payments either way).
 
 Errors map onto status codes: malformed input and infeasible auctions
 are 400, unknown campaigns/routes 404, duplicate campaigns 409.
@@ -33,6 +35,7 @@ from dataclasses import asdict
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import unquote
 
+from ..auction.config import AuctionConfig
 from ..core.config import DateConfig
 from ..errors import ReproError
 from .campaign import CampaignStore, DuplicateCampaignError, UnknownCampaignError
@@ -162,7 +165,12 @@ class StreamingApp:
         cap = None
         if payload.get("cap") is not None:
             cap = coerce_number(payload, "cap", 0.0)
-        outcome = self.store.auction(campaign_id, requirement_cap=cap)
+        auction_config = None
+        if payload.get("backend") is not None:
+            auction_config = AuctionConfig(backend=payload["backend"])
+        outcome = self.store.auction(
+            campaign_id, requirement_cap=cap, auction_config=auction_config
+        )
         auction = outcome.auction
         return 200, {
             "winners": list(auction.winner_ids),

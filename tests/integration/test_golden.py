@@ -61,7 +61,9 @@ def results():
     return golden_results()
 
 
-@pytest.mark.parametrize("name", ["fig3a", "fig3b", "table1"])
+@pytest.mark.parametrize(
+    "name", ["fig3a", "fig3b", "table1", "fig6a", "fig7a_payments"]
+)
 def test_series_match_golden(name, results):
     path = GOLDEN_DIR / f"{name}.json"
     golden = json.loads(path.read_text())

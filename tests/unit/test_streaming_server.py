@@ -195,6 +195,34 @@ class TestStreamingApp:
         assert status == 200 and auction["winners"]
         assert set(auction["payments"]) == set(auction["winners"])
 
+    def test_auction_backend_selection(self, app, replay):
+        """Both auction engines are reachable over the API and agree."""
+        app.handle("POST", "/campaigns", {"campaign_id": "c1"})
+        for batch in replay:
+            app.handle(
+                "POST", "/campaigns/c1/claims",
+                batch_to_json(batch, include_truth=True),
+            )
+        status, default = app.handle(
+            "POST", "/campaigns/c1/auction", {"cap": 0.7}
+        )
+        assert status == 200
+        status, reference = app.handle(
+            "POST",
+            "/campaigns/c1/auction",
+            {"cap": 0.7, "backend": "reference"},
+        )
+        assert status == 200
+        assert reference["winners"] == default["winners"]
+        assert reference["payments"] == default["payments"]
+
+    def test_unknown_auction_backend_400(self, app):
+        app.handle("POST", "/campaigns", {"campaign_id": "c1"})
+        status, body = app.handle(
+            "POST", "/campaigns/c1/auction", {"backend": "gpu"}
+        )
+        assert status == 400 and "error" in body
+
     def test_malformed_batch_400(self, app):
         app.handle("POST", "/campaigns", {"campaign_id": "c1"})
         status, body = app.handle(
