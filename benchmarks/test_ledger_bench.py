@@ -1,0 +1,84 @@
+"""Run-ledger benchmark: warm (cache-hit) re-runs vs cold computes.
+
+Re-runs the fig3a sensitivity sweep at quick scale through a
+content-addressed :class:`~repro.artifacts.RunLedger` and gates the two
+acceptance criteria of the caching layer:
+
+- **Exactness** (`test_warm_rerun_bit_identical`): the warm run's
+  result equals the cold run's bit for bit — identical x-grid, series
+  floats, and export payload — and is served entirely from the ledger
+  (zero misses).  Always asserted, on any machine.
+- **Speed** (`test_ledger_warm_speedup`): replaying the banked result
+  is >= 10x faster than computing it cold.  The warm path is pure
+  JSON I/O, so the gate holds on any healthy disk, but wall-clock
+  ratios still jitter on oversubscribed shared runners; it is excluded
+  from CI's ``-k "not speedup"`` filter like the other hard gates and
+  runs locally with::
+
+      pytest benchmarks/test_ledger_bench.py -k speedup -s
+
+The CI warm-cache job exercises the same contract end to end through
+the CLI (two ``repro run --cache`` invocations sharing a store, second
+one asserted >= 90% hits and byte-identical exports).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.artifacts import RunLedger
+from repro.experiments.registry import run_experiment
+
+from benchmarks.conftest import BENCH_SEED
+
+MIN_SPEEDUP = 10.0
+#: Enough instances that the cold run does real work (seconds), while
+#: the warm run stays a handful of file reads.
+INSTANCES = 3
+
+_KWARGS = dict(scale="quick", instances=INSTANCES, base_seed=BENCH_SEED)
+
+
+@pytest.fixture(scope="module")
+def bench_store(tmp_path_factory):
+    return tmp_path_factory.mktemp("ledger-bench")
+
+
+def test_warm_rerun_bit_identical(bench_store):
+    ledger = RunLedger(bench_store / "exact")
+    cold = run_experiment("fig3a", **_KWARGS, ledger=ledger)
+    assert ledger.stats.writes > 0
+    ledger.reset_stats()
+    warm = run_experiment("fig3a", **_KWARGS, ledger=ledger)
+    assert warm == cold
+    assert warm.to_payload() == cold.to_payload()
+    assert ledger.stats.misses == 0
+    assert ledger.stats.hits >= 1
+    uncached = run_experiment("fig3a", **_KWARGS)
+    assert uncached.to_payload() == cold.to_payload()
+
+
+def test_ledger_warm_speedup(bench_store):
+    """The acceptance gate: warm fig3a re-run >= 10x over cold."""
+    ledger = RunLedger(bench_store / "speed")
+
+    start = time.perf_counter()
+    cold = run_experiment("fig3a", **_KWARGS, ledger=ledger)
+    cold_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    warm = run_experiment("fig3a", **_KWARGS, ledger=ledger)
+    warm_s = time.perf_counter() - start
+
+    assert warm.to_payload() == cold.to_payload()
+    speedup = cold_s / max(warm_s, 1e-9)
+    print(
+        f"\nledger warm re-run: cold {cold_s:.3f}s, warm {warm_s:.4f}s, "
+        f"speedup {speedup:.1f}x (gate >= {MIN_SPEEDUP}x)"
+    )
+    assert speedup >= MIN_SPEEDUP, (
+        f"warm ledger replay only {speedup:.1f}x faster than cold "
+        f"({cold_s:.3f}s -> {warm_s:.4f}s); expected >= {MIN_SPEEDUP}x"
+    )

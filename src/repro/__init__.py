@@ -71,6 +71,7 @@ from .errors import (
     ConvergenceWarning,
     DataFormatError,
     InfeasibleCoverageError,
+    MetricMismatchError,
     ReproError,
 )
 from .mechanism import IMC2, IMC2Outcome
@@ -109,6 +110,7 @@ __all__ = [
     "IMC2Outcome",
     "InfeasibleCoverageError",
     "MajorityVote",
+    "MetricMismatchError",
     "NoCopier",
     "OnlineDATE",
     "OnlineUpdate",

@@ -19,9 +19,20 @@ Subcommands:
   online estimator or against a running ``repro serve`` instance;
 - ``repro scenario list`` — show every registered adversarial scenario;
 - ``repro scenario run <name> [--instances N] [--seed S]
-  [--parallel N]`` — run one adversarial scenario end to end and print
-  the per-metric summary (DATE/MV precision, detection P/R/F1, auction
-  shading metrics when the scenario runs the auction stage).
+  [--parallel N] [--cache] [--store DIR]`` — run one adversarial
+  scenario end to end and print the per-metric summary (DATE/MV
+  precision, detection P/R/F1, auction shading metrics when the
+  scenario runs the auction stage);
+- ``repro ledger list/show/gc [--store DIR]`` — inspect and maintain
+  the content-addressed run ledger that ``--cache`` runs read and
+  write (see DESIGN.md §11).
+
+Caching: ``repro run``/``repro scenario run`` accept ``--cache`` /
+``--no-cache`` and ``--store DIR`` (default ``$REPRO_STORE`` or
+``~/.cache/repro``).  With the cache on, per-instance rows, sweep
+points and finished results are banked under content fingerprints, so
+re-runs and ``--instances`` growth recompute only the delta — and the
+warm output is bit-identical to a cold run.
 """
 
 from __future__ import annotations
@@ -36,6 +47,7 @@ import urllib.request
 from pathlib import Path
 from urllib.parse import quote
 
+from .artifacts import LedgerError, RunLedger
 from .baselines import EnumerateDependence, MajorityVote, NoCopier
 from .core.config import DateConfig
 from .core.date import DATE
@@ -58,12 +70,38 @@ _TRUTH_ALGORITHMS = {
     "ED": lambda cfg: EnumerateDependence(cfg),
 }
 
-#: Runners that take no scale/instances knobs.
-_FIXED_RUNNERS = {"table1"}
-#: Runners without an ``instances`` parameter.
-_NO_INSTANCES = {"table1", "fig8a", "fig8b"}
-#: Runners wired onto the parallel executor (accept ``parallel=N``).
-_PARALLEL_RUNNERS = {"table1", "fig3a", "fig3b", "adv-f1", "adv-precision"}
+
+def _add_cache_arguments(parser: argparse.ArgumentParser) -> None:
+    """The shared ``--cache/--no-cache`` + ``--store`` argument pair."""
+    parser.add_argument(
+        "--cache",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help="read/write the content-addressed run ledger so repeated "
+        "and resumed runs recompute only the missing work "
+        "(bit-identical to a cold run; default: off)",
+    )
+    parser.add_argument(
+        "--store",
+        type=Path,
+        default=None,
+        help="run-ledger directory (default: $REPRO_STORE or ~/.cache/repro)",
+    )
+
+
+def _ledger_from(args: argparse.Namespace) -> RunLedger | None:
+    """The ledger selected by ``--cache``/``--store`` (None = cache off)."""
+    if not getattr(args, "cache", False):
+        return None
+    return RunLedger(args.store)
+
+
+def _print_ledger_stats(ledger: RunLedger) -> None:
+    stats = ledger.stats
+    print(
+        f"ledger: {stats.describe()} "
+        f"(hit rate {stats.hit_rate * 100.0:.1f}%, store: {ledger.root})"
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -107,9 +145,10 @@ def _build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="fan instances out over N worker processes (experiments "
-        "wired onto the parallel executor only; results are "
+        "declaring the 'parallel' feature only; results are "
         "bit-identical to the serial run)",
     )
+    _add_cache_arguments(run)
 
     generate = sub.add_parser(
         "generate", help="write a seeded synthetic campaign as CSV"
@@ -228,26 +267,94 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="override the dependence-posterior detection threshold",
     )
+    _add_cache_arguments(scenario_run)
+
+    ledger = sub.add_parser(
+        "ledger", help="inspect / maintain the run-ledger store"
+    )
+    ledger_sub = ledger.add_subparsers(dest="ledger_command", required=True)
+    ledger_list = ledger_sub.add_parser(
+        "list", help="list stored artifacts (newest first)"
+    )
+    ledger_list.add_argument(
+        "--kind",
+        choices=("rows", "points", "results", "snapshots"),
+        default=None,
+        help="restrict to one artifact kind",
+    )
+    ledger_list.add_argument(
+        "--limit", type=int, default=40, help="show at most N entries"
+    )
+    ledger_show = ledger_sub.add_parser(
+        "show", help="print one stored entry as JSON"
+    )
+    ledger_show.add_argument(
+        "fingerprint", help="fingerprint (any unambiguous prefix)"
+    )
+    ledger_gc = ledger_sub.add_parser(
+        "gc", help="delete stored artifacts"
+    )
+    ledger_gc.add_argument(
+        "--older-than",
+        type=float,
+        default=None,
+        metavar="DAYS",
+        help="only delete entries older than DAYS (may be fractional)",
+    )
+    ledger_gc.add_argument(
+        "--all",
+        action="store_true",
+        help="delete every entry (required when --older-than is absent)",
+    )
+    ledger_gc.add_argument(
+        "--kind",
+        choices=("rows", "points", "results", "snapshots"),
+        default=None,
+        help="restrict to one artifact kind",
+    )
+    for sub_parser in (ledger_list, ledger_show, ledger_gc):
+        sub_parser.add_argument(
+            "--store",
+            type=Path,
+            default=None,
+            help="run-ledger directory (default: $REPRO_STORE or ~/.cache/repro)",
+        )
     return parser
 
 
-def _run_one(experiment_id: str, args: argparse.Namespace) -> None:
+def _run_one(
+    experiment_id: str,
+    args: argparse.Namespace,
+    ledger: RunLedger | None = None,
+) -> None:
     experiment = get_experiment(experiment_id)
     kwargs: dict[str, object] = {"base_seed": args.seed}
-    if experiment_id not in _FIXED_RUNNERS:
+    if experiment.supports("scale"):
         kwargs["scale"] = args.scale
-    if args.instances is not None and experiment_id not in _NO_INSTANCES:
+    if args.instances is not None and experiment.supports("instances"):
         kwargs["instances"] = args.instances
-    if experiment_id in _FIXED_RUNNERS:
-        kwargs = {"base_seed": args.seed}
     if args.parallel is not None:
-        if experiment_id in _PARALLEL_RUNNERS:
+        if experiment.supports("parallel"):
             kwargs["parallel"] = args.parallel
         else:
+            parallel_ids = sorted(
+                e.experiment_id for e in list_experiments() if e.supports("parallel")
+            )
             print(
                 f"note: {experiment_id} is not wired onto the parallel "
                 f"executor; --parallel ignored, running serially "
-                f"(parallel experiments: {', '.join(sorted(_PARALLEL_RUNNERS))})"
+                f"(parallel experiments: {', '.join(parallel_ids)})"
+            )
+    if ledger is not None:
+        if experiment.supports("ledger"):
+            # The footer reports this experiment's stats, not process
+            # totals — matters for `repro run all --cache`.
+            ledger.reset_stats()
+            kwargs["ledger"] = ledger
+        else:
+            print(
+                f"note: {experiment_id} measures wall-clock and is never "
+                f"cached; --cache ignored"
             )
     result = experiment.runner(**kwargs)
     print(render_result_table(result))
@@ -258,6 +365,8 @@ def _run_one(experiment_id: str, args: argparse.Namespace) -> None:
         csv_path = write_csv(result, args.out / f"{experiment_id}.csv")
         json_path = write_json(result, args.out / f"{experiment_id}.json")
         print(f"\nwrote {csv_path} and {json_path}")
+    if ledger is not None and experiment.supports("ledger"):
+        _print_ledger_stats(ledger)
     print()
 
 
@@ -482,8 +591,9 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
         overrides["detection_threshold"] = args.threshold
     if overrides:
         scenario = scenario.evolve(**overrides)
+    ledger = _ledger_from(args)
     start = time.perf_counter()
-    result = run_scenario(scenario, parallel=args.parallel)
+    result = run_scenario(scenario, parallel=args.parallel, ledger=ledger)
     elapsed = time.perf_counter() - start
     rows = [
         [name, stats.mean, stats.std, stats.ci95_low, stats.ci95_high]
@@ -498,6 +608,71 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
     print()
     print(format_table(["metric", "mean", "std", "ci95 low", "ci95 high"], rows))
     print(f"\n{scenario.instances} instances in {elapsed:.2f}s")
+    if ledger is not None:
+        _print_ledger_stats(ledger)
+    return 0
+
+
+def _format_age(seconds: float) -> str:
+    if seconds < 120:
+        return f"{seconds:.0f}s"
+    if seconds < 7200:
+        return f"{seconds / 60:.0f}m"
+    if seconds < 172800:
+        return f"{seconds / 3600:.1f}h"
+    return f"{seconds / 86400:.1f}d"
+
+
+def _cmd_ledger(args: argparse.Namespace) -> int:
+    ledger = RunLedger(args.store)
+    if args.ledger_command == "list":
+        entries = ledger.entries(args.kind)
+        now = time.time()
+        rows = [
+            [
+                entry.fingerprint[:16],
+                entry.kind,
+                entry.experiment_id,
+                entry.detail,
+                entry.size_bytes,
+                _format_age(max(now - entry.modified_at, 0.0)),
+            ]
+            for entry in entries[: args.limit]
+        ]
+        print(format_table(
+            ["fingerprint", "kind", "experiment", "detail", "bytes", "age"], rows
+        ))
+        # Footer totals describe the *listed* (kind-filtered) entries,
+        # so "N of M shown" always refers to the same population.
+        per_kind: dict[str, int] = {}
+        for entry in entries:
+            per_kind[entry.kind] = per_kind.get(entry.kind, 0) + 1
+        shown = min(len(entries), args.limit)
+        print(
+            f"\n{shown} of {len(entries)} entries shown; "
+            f"{sum(e.size_bytes for e in entries)} bytes total in {ledger.root}"
+            + (
+                f" ({', '.join(f'{k}: {n}' for k, n in sorted(per_kind.items()))})"
+                if per_kind
+                else ""
+            )
+        )
+        return 0
+    if args.ledger_command == "show":
+        try:
+            payload = ledger.show(args.fingerprint)
+        except LedgerError as exc:
+            raise SystemExit(str(exc)) from exc
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    # gc
+    if args.older_than is None and not args.all:
+        raise SystemExit(
+            "refusing to delete the whole store without --all "
+            "(or pass --older-than DAYS)"
+        )
+    removed, freed = ledger.gc(older_than_days=args.older_than, kind=args.kind)
+    print(f"removed {removed} entries ({freed} bytes) from {ledger.root}")
     return 0
 
 
@@ -523,11 +698,14 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_ingest(args)
     if args.command == "scenario":
         return _cmd_scenario(args)
+    if args.command == "ledger":
+        return _cmd_ledger(args)
+    ledger = _ledger_from(args)
     if args.experiment == "all":
         for experiment in list_experiments():
-            _run_one(experiment.experiment_id, args)
+            _run_one(experiment.experiment_id, args, ledger)
         return 0
-    _run_one(args.experiment, args)
+    _run_one(args.experiment, args, ledger)
     return 0
 
 

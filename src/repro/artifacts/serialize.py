@@ -1,0 +1,76 @@
+"""JSON payload codecs for artifacts that outlive a process.
+
+The ledger stores everything as JSON; this module holds the lossless
+converters for the result bundles that are not already JSON-shaped.
+Floats survive exactly (JSON uses shortest-``repr`` encoding), numpy
+matrices are stored as nested lists with their dtype restored on read,
+so a deserialized result compares bit-identical to the original — the
+property the streaming warm-restart tests pin.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from ..core.date import TruthDiscoveryResult
+from ..core.dependence import DependencePosterior
+
+__all__ = ["truth_result_from_payload", "truth_result_to_payload"]
+
+
+def truth_result_to_payload(result: TruthDiscoveryResult) -> dict[str, Any]:
+    """Lower a :class:`TruthDiscoveryResult` to a JSON-safe dict."""
+    return {
+        "truths": dict(result.truths),
+        "accuracy_matrix": result.accuracy_matrix.tolist(),
+        "worker_accuracy": dict(result.worker_accuracy),
+        "confidence": dict(result.confidence),
+        "support": {
+            task: dict(values) for task, values in result.support.items()
+        },
+        "dependence": [
+            [a, b, posterior.p_a_to_b, posterior.p_b_to_a]
+            for (a, b), posterior in result.dependence.items()
+        ],
+        "iterations": result.iterations,
+        "converged": result.converged,
+        "method": result.method,
+        "worker_ids": list(result.worker_ids),
+        "task_ids": list(result.task_ids),
+        "ground_truths": dict(result._ground_truths),
+    }
+
+
+def truth_result_from_payload(payload: dict[str, Any]) -> TruthDiscoveryResult:
+    """Rebuild a :class:`TruthDiscoveryResult` from its JSON payload."""
+    matrix = np.asarray(payload["accuracy_matrix"], dtype=np.float64)
+    if matrix.size == 0:
+        matrix = matrix.reshape(
+            (len(payload["worker_ids"]), len(payload["task_ids"]))
+        )
+    return TruthDiscoveryResult(
+        truths=dict(payload["truths"]),
+        accuracy_matrix=matrix,
+        worker_accuracy={
+            k: float(v) for k, v in payload["worker_accuracy"].items()
+        },
+        confidence={k: float(v) for k, v in payload["confidence"].items()},
+        support={
+            task: {value: float(count) for value, count in values.items()}
+            for task, values in payload["support"].items()
+        },
+        dependence={
+            (a, b): DependencePosterior(
+                p_a_to_b=float(p_ab), p_b_to_a=float(p_ba)
+            )
+            for a, b, p_ab, p_ba in payload["dependence"]
+        },
+        iterations=int(payload["iterations"]),
+        converged=bool(payload["converged"]),
+        method=str(payload["method"]),
+        worker_ids=tuple(payload["worker_ids"]),
+        task_ids=tuple(payload["task_ids"]),
+        _ground_truths=dict(payload["ground_truths"]),
+    )

@@ -62,6 +62,16 @@ class FalseValueDistribution(ABC):
     #: q(v | truth) is one number per task.
     candidate_free = False
 
+    def __fingerprint__(self) -> dict:
+        """Identifying parameters for the run ledger's canonical
+        fingerprint (:mod:`repro.artifacts.fingerprint`).
+
+        The base model is parameter-free; parameterized subclasses
+        (Zipf, empirical) override this with their constructor state —
+        never the per-dataset caches, which derive from the data.
+        """
+        return {}
+
     def prepare(self, index: DatasetIndex) -> None:
         """Hook called once per DATE run before any queries.
 
@@ -231,6 +241,9 @@ class ZipfFalseValues(FalseValueDistribution):
         self.exponent = float(exponent)
         self._ranking: list[list[str]] = []
 
+    def __fingerprint__(self) -> dict:
+        return {"exponent": self.exponent}
+
     def prepare(self, index: DatasetIndex) -> None:
         self._ranking = []
         for j in range(index.n_tasks):
@@ -293,6 +306,9 @@ class EmpiricalFalseValues(FalseValueDistribution):
             raise ConfigurationError("smoothing must be > 0")
         self.smoothing = float(smoothing)
         self._counts: list[dict[str, int]] = []
+
+    def __fingerprint__(self) -> dict:
+        return {"smoothing": self.smoothing}
 
     def prepare(self, index: DatasetIndex) -> None:
         self._counts = []

@@ -59,6 +59,19 @@ class PalmM515LikeSampler:
         self.round_fraction = round_fraction
         self.round_to = round_to
 
+    def __fingerprint__(self) -> dict:
+        """Identifying parameters for the run ledger's canonical
+        fingerprint — the full sampler shape (the sampler is otherwise
+        stateless; randomness comes from the per-call seed)."""
+        return {
+            "median": self.median,
+            "sigma": self.sigma,
+            "floor": self.floor,
+            "ceiling": self.ceiling,
+            "round_fraction": self.round_fraction,
+            "round_to": self.round_to,
+        }
+
     def sample(self, count: int, seed: SeedLike = None) -> np.ndarray:
         """Draw ``count`` bid prices in dollars."""
         if count < 0:

@@ -30,6 +30,17 @@ class DataFormatError(ReproError, ValueError):
     """
 
 
+class MetricMismatchError(ReproError, ValueError):
+    """Instance rows of one run disagree on their metric names.
+
+    Every instance of a run must report exactly the same metrics; a
+    ragged table means the metric function is nondeterministic in its
+    *shape*, which would silently corrupt aggregation.  The message
+    names the first offending instance and the missing/unexpected
+    metrics.
+    """
+
+
 class InfeasibleCoverageError(ReproError, RuntimeError):
     """The SOAC instance cannot be covered by the available workers.
 

@@ -8,14 +8,23 @@ experiment ids (``fig3a`` ... ``fig8b``, ``table1``, ``approx``) to
 runners for the CLI and the benchmark harness.
 """
 
-from .common import PAPER_SCALE, QUICK_SCALE, ScalePreset
-from .registry import get_experiment, list_experiments, run_experiment
+from .common import (
+    PAPER_SCALE,
+    QUICK_SCALE,
+    ScalePreset,
+    instance_run_key,
+    result_run_key,
+)
+from .registry import Experiment, get_experiment, list_experiments, run_experiment
 
 __all__ = [
+    "Experiment",
     "PAPER_SCALE",
     "QUICK_SCALE",
     "ScalePreset",
     "get_experiment",
+    "instance_run_key",
     "list_experiments",
+    "result_run_key",
     "run_experiment",
 ]

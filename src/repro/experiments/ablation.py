@@ -9,8 +9,9 @@ per-variant confidence intervals in ``meta``.
 from __future__ import annotations
 
 from ..analysis.ablation import ABLATION_VARIANTS, run_date_ablation
+from ..artifacts import RunLedger
 from ..simulation.sweep import ExperimentResult
-from .common import ScalePreset, base_config
+from .common import ScalePreset, base_config, result_run_key
 
 __all__ = ["run_ablation"]
 
@@ -21,12 +22,22 @@ def run_ablation(
     instances: int | None = None,
     base_seed: int = 42,
     variants: dict[str, dict[str, object]] | None = None,
+    ledger: RunLedger | None = None,
 ) -> ExperimentResult:
     """Run the DATE design-choice ablation on seeded instances."""
     config = base_config(scale, instances=instances, base_seed=base_seed)
+    key = result_run_key(
+        "ablation",
+        config,
+        variants=variants if variants is not None else ABLATION_VARIANTS,
+    )
+    if ledger is not None:
+        banked = ledger.get_result(key)
+        if banked is not None:
+            return banked
     rows = run_date_ablation(config, variants=variants)
     names = [row.variant for row in rows]
-    return ExperimentResult(
+    result = ExperimentResult(
         experiment_id="ablation",
         title="DATE design-choice ablation (precision per variant)",
         x_label="variant index",
@@ -47,3 +58,6 @@ def run_ablation(
             "available_variants": sorted(ABLATION_VARIANTS),
         },
     )
+    if ledger is not None:
+        ledger.put_result(key, result)
+    return result

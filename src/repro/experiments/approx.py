@@ -15,6 +15,7 @@ experiment does, on instances small enough for the exact ILP
 
 from __future__ import annotations
 
+from ..artifacts import RunLedger
 from ..auction.optimal import solve_optimal
 from ..auction.properties import approximation_bound
 from ..auction.reverse_auction import ReverseAuction
@@ -22,6 +23,7 @@ from ..auction.soac import SOACInstance
 from ..core.date import DATE
 from ..simulation.config import ExperimentConfig
 from ..simulation.sweep import ExperimentResult
+from .common import result_run_key
 from .fig67 import REQUIREMENT_CAP
 
 __all__ = ["run_approx"]
@@ -35,6 +37,7 @@ def run_approx(
     n_tasks: int = 24,
     n_workers: int = 24,
     n_copiers: int = 6,
+    ledger: RunLedger | None = None,
 ) -> ExperimentResult:
     """Measure greedy-vs-optimal social cost on small seeded instances.
 
@@ -49,6 +52,11 @@ def run_approx(
         instances=instances or 8,
         base_seed=base_seed,
     )
+    key = result_run_key("approx", config, requirement_cap=REQUIREMENT_CAP)
+    if ledger is not None:
+        banked = ledger.get_result(key)
+        if banked is not None:
+            return banked
     auction = ReverseAuction()
     greedy_costs: list[float] = []
     optimal_costs: list[float] = []
@@ -69,7 +77,7 @@ def run_approx(
             else 1.0
         )
         bounds.append(approximation_bound(instance))
-    return ExperimentResult(
+    result = ExperimentResult(
         experiment_id="approx",
         title="Greedy reverse auction versus exact ILP optimum",
         x_label="instance",
@@ -91,3 +99,6 @@ def run_approx(
             "base_seed": base_seed,
         },
     )
+    if ledger is not None:
+        ledger.put_result(key, result)
+    return result

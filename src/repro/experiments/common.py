@@ -30,6 +30,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Any
 
+from ..artifacts import RunKey
 from ..baselines import (
     EnumerateDependence,
     GreedyAccuracy,
@@ -50,7 +51,9 @@ __all__ = [
     "ScalePreset",
     "auction_algorithms",
     "base_config",
+    "instance_run_key",
     "resolve_scale",
+    "result_run_key",
     "truth_algorithms",
 ]
 
@@ -133,6 +136,43 @@ def base_config(
     if overrides:
         config = config.evolve(**overrides)
     return config
+
+
+def instance_run_key(
+    experiment_id: str, config: ExperimentConfig, **inputs: Any
+) -> RunKey:
+    """The per-instance ledger key of a runner (DESIGN.md §11).
+
+    This is how runners *declare* their fingerprint inputs: the fully
+    resolved :class:`ExperimentConfig` plus every extra knob the metric
+    body reads (grids, assumed r, ...), as keyword arguments — never
+    the runner's raw ad-hoc kwargs.  The instance *count* is
+    deliberately normalized out: instance seeds derive from
+    ``SeedSequence.spawn`` keyed by the index alone, so instance ``k``
+    computes the same row in a 10- or 100-instance run, and growing
+    ``--instances`` reuses the banked prefix.
+    """
+    return RunKey(
+        experiment_id=experiment_id,
+        payload={"config": config.evolve(instances=1), **inputs},
+    )
+
+
+def result_run_key(
+    experiment_id: str,
+    config: ExperimentConfig | None = None,
+    **inputs: Any,
+) -> RunKey:
+    """The whole-result (and sweep-point) ledger key of a runner.
+
+    Unlike :func:`instance_run_key` the instance count stays in the
+    payload — a finished result aggregates over all instances, so a
+    run with a different count is different work.
+    """
+    payload: dict[str, Any] = dict(inputs)
+    if config is not None:
+        payload["config"] = config
+    return RunKey(experiment_id=experiment_id, payload=payload)
 
 
 def truth_algorithms(

@@ -11,7 +11,9 @@ evaluates the *whole* hyperparameter grid on the k-th seeded instance
 grid cell), and :func:`~repro.simulation.runner.run_instances` fans the
 instances out — serially or over the process pool (``parallel=N``)
 with bit-identical results, since each instance derives its dataset
-from ``(config, k)`` alone.
+from ``(config, k)`` alone.  That purity is also what makes the run
+ledger sound here: with ``ledger=`` each instance row is banked under
+its content fingerprint, so re-runs recompute only new instances.
 """
 
 from __future__ import annotations
@@ -19,13 +21,14 @@ from __future__ import annotations
 from collections.abc import Sequence
 from functools import partial
 
+from ..artifacts import RunLedger, cached_result
 from ..core.date import DATE
 from ..core.indexing import DatasetIndex
 from ..simulation.config import ExperimentConfig
 from ..simulation.metrics import precision
 from ..simulation.runner import run_instances
 from ..simulation.sweep import ExperimentResult, sweep_series
-from .common import ScalePreset, base_config
+from .common import ScalePreset, base_config, instance_run_key, result_run_key
 
 __all__ = ["run_fig3a", "run_fig3b"]
 
@@ -69,6 +72,7 @@ def run_fig3a(
     alpha_grid: Sequence[float] = _DEFAULT_GRID,
     assumed_r: float = 0.2,
     parallel: int | None = 1,
+    ledger: RunLedger | None = None,
 ) -> ExperimentResult:
     """Precision vs. initial accuracy ε, one series per prior α.
 
@@ -78,34 +82,47 @@ def run_fig3a(
     config = base_config(scale, instances=instances, base_seed=base_seed)
     epsilon_grid = tuple(epsilon_grid)
     alpha_grid = tuple(alpha_grid)
-    table = run_instances(
-        config.instances,
-        partial(_fig3a_instance, config, epsilon_grid, alpha_grid, assumed_r),
-        parallel=parallel,
-    )
+    declared = {
+        "epsilon_grid": epsilon_grid,
+        "alpha_grid": alpha_grid,
+        "assumed_r": assumed_r,
+    }
 
-    def point(epsilon: float) -> dict[str, float]:
-        return {
-            f"alpha={alpha:g}": table.mean(_cell(epsilon, alpha))
-            for alpha in alpha_grid
-        }
+    def build() -> ExperimentResult:
+        table = run_instances(
+            config.instances,
+            partial(_fig3a_instance, config, epsilon_grid, alpha_grid, assumed_r),
+            parallel=parallel,
+            ledger=ledger,
+            key=instance_run_key("fig3a", config, **declared),
+        )
 
-    return sweep_series(
-        "fig3a",
-        "Precision of DATE versus initial accuracy ε and prior α",
-        "epsilon",
-        "precision",
-        epsilon_grid,
-        point,
-        meta={
-            "paper_expectation": (
-                "precision varies only slightly (0.82-0.92) across the "
-                "whole (ε, α) grid; best near ε=0.5, α=0.2"
-            ),
-            "assumed_r": assumed_r,
-            "instances": config.instances,
-            "base_seed": base_seed,
-        },
+        def point(epsilon: float) -> dict[str, float]:
+            return {
+                f"alpha={alpha:g}": table.mean(_cell(epsilon, alpha))
+                for alpha in alpha_grid
+            }
+
+        return sweep_series(
+            "fig3a",
+            "Precision of DATE versus initial accuracy ε and prior α",
+            "epsilon",
+            "precision",
+            epsilon_grid,
+            point,
+            meta={
+                "paper_expectation": (
+                    "precision varies only slightly (0.82-0.92) across the "
+                    "whole (ε, α) grid; best near ε=0.5, α=0.2"
+                ),
+                "assumed_r": assumed_r,
+                "instances": config.instances,
+                "base_seed": base_seed,
+            },
+        )
+
+    return cached_result(
+        ledger, result_run_key("fig3a", config, **declared), build
     )
 
 
@@ -131,6 +148,7 @@ def run_fig3b(
     base_seed: int = 42,
     r_grid: Sequence[float] = _DEFAULT_R_GRID,
     parallel: int | None = 1,
+    ledger: RunLedger | None = None,
 ) -> ExperimentResult:
     """Precision vs. the assumed copy probability r.
 
@@ -140,29 +158,37 @@ def run_fig3b(
     """
     config = base_config(scale, instances=instances, base_seed=base_seed)
     r_grid = tuple(r_grid)
-    table = run_instances(
-        config.instances,
-        partial(_fig3b_instance, config, r_grid),
-        parallel=parallel,
-    )
 
-    def point(r: float) -> dict[str, float]:
-        return {"DATE": table.mean(f"r={r:g}")}
+    def build() -> ExperimentResult:
+        table = run_instances(
+            config.instances,
+            partial(_fig3b_instance, config, r_grid),
+            parallel=parallel,
+            ledger=ledger,
+            key=instance_run_key("fig3b", config, r_grid=r_grid),
+        )
 
-    return sweep_series(
-        "fig3b",
-        "Precision of DATE versus assumed copy probability r",
-        "r",
-        "precision",
-        r_grid,
-        point,
-        meta={
-            "paper_expectation": (
-                "precision increases significantly from r=0.1 to r=0.4, "
-                "then converges"
-            ),
-            "generative_copy_prob": config.copy_prob,
-            "instances": config.instances,
-            "base_seed": base_seed,
-        },
+        def point(r: float) -> dict[str, float]:
+            return {"DATE": table.mean(f"r={r:g}")}
+
+        return sweep_series(
+            "fig3b",
+            "Precision of DATE versus assumed copy probability r",
+            "r",
+            "precision",
+            r_grid,
+            point,
+            meta={
+                "paper_expectation": (
+                    "precision increases significantly from r=0.1 to r=0.4, "
+                    "then converges"
+                ),
+                "generative_copy_prob": config.copy_prob,
+                "instances": config.instances,
+                "base_seed": base_seed,
+            },
+        )
+
+    return cached_result(
+        ledger, result_run_key("fig3b", config, r_grid=r_grid), build
     )

@@ -18,12 +18,19 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 
+from ..artifacts import RunLedger, cached_result
 from ..core.indexing import DatasetIndex
 from ..simulation.config import ExperimentConfig
 from ..simulation.metrics import precision
 from ..simulation.sweep import ExperimentResult, sweep_series
 from ..simulation.timing import timed
-from .common import ScalePreset, base_config, resolve_scale, truth_algorithms
+from .common import (
+    ScalePreset,
+    base_config,
+    resolve_scale,
+    result_run_key,
+    truth_algorithms,
+)
 
 __all__ = ["run_fig4a", "run_fig4b", "run_fig5a", "run_fig5b"]
 
@@ -94,6 +101,7 @@ def _run(
     grid: Sequence[int] | None,
     include_ed: bool,
     paper_expectation: str,
+    ledger: RunLedger | None = None,
 ) -> ExperimentResult:
     preset = resolve_scale(scale)
     config = base_config(preset, instances=instances, base_seed=base_seed)
@@ -101,21 +109,46 @@ def _run(
         grid = (
             _default_task_grid(preset) if vary == "tasks" else _default_worker_grid(preset)
         )
-    measured = _measure(config, vary=vary, metric=metric, include_ed=include_ed)
-    return sweep_series(
-        experiment_id,
-        title,
-        f"number of {vary}",
-        metric if metric == "precision" else "seconds",
-        grid,
-        measured["point_fn"],
-        meta={
-            "paper_expectation": paper_expectation,
-            "instances": config.instances,
-            "base_seed": base_seed,
-            "scale": preset.name,
-        },
+    grid = tuple(grid)
+    # A sweep point aggregates over *all* instances, so its ledger key
+    # keeps the full config (instance count included) plus every knob
+    # the point body reads.  Timing metrics never take a ledger —
+    # caching a wall-clock measurement would replay stale hardware.
+    key = (
+        result_run_key(
+            experiment_id,
+            config,
+            vary=vary,
+            metric=metric,
+            grid=grid,
+            include_ed=include_ed,
+        )
+        if ledger is not None
+        else None
     )
+
+    def build() -> ExperimentResult:
+        measured = _measure(
+            config, vary=vary, metric=metric, include_ed=include_ed
+        )
+        return sweep_series(
+            experiment_id,
+            title,
+            f"number of {vary}",
+            metric if metric == "precision" else "seconds",
+            grid,
+            measured["point_fn"],
+            meta={
+                "paper_expectation": paper_expectation,
+                "instances": config.instances,
+                "base_seed": base_seed,
+                "scale": preset.name,
+            },
+            ledger=ledger,
+            key=key,
+        )
+
+    return cached_result(ledger, key, build)
 
 
 def run_fig4a(
@@ -125,6 +158,7 @@ def run_fig4a(
     base_seed: int = 42,
     task_grid: Sequence[int] | None = None,
     include_ed: bool = True,
+    ledger: RunLedger | None = None,
 ) -> ExperimentResult:
     """Precision vs. number of tasks for MV / NC / DATE / ED."""
     return _run(
@@ -139,6 +173,7 @@ def run_fig4a(
         include_ed,
         "DATE > NC > MV (avg +8.4% over MV, +7.4% over NC); ED >= DATE "
         "(+0.8%); precision declines slightly as tasks grow",
+        ledger=ledger,
     )
 
 
@@ -149,6 +184,7 @@ def run_fig4b(
     base_seed: int = 42,
     worker_grid: Sequence[int] | None = None,
     include_ed: bool = True,
+    ledger: RunLedger | None = None,
 ) -> ExperimentResult:
     """Precision vs. number of workers for MV / NC / DATE / ED."""
     return _run(
@@ -163,6 +199,7 @@ def run_fig4b(
         include_ed,
         "all algorithms gain precision with more workers; ordering "
         "ED >= DATE > NC > MV preserved",
+        ledger=ledger,
     )
 
 

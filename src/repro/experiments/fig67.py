@@ -22,13 +22,20 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 
+from ..artifacts import RunLedger
 from ..auction.config import AuctionConfig
 from ..auction.soac import SOACInstance
 from ..core.date import DATE
 from ..core.indexing import DatasetIndex
 from ..simulation.sweep import ExperimentResult, sweep_series
 from ..simulation.timing import timed
-from .common import ScalePreset, auction_algorithms, base_config, resolve_scale
+from .common import (
+    ScalePreset,
+    auction_algorithms,
+    base_config,
+    resolve_scale,
+    result_run_key,
+)
 
 __all__ = [
     "run_fig6a",
@@ -59,11 +66,33 @@ def _run(
     grid: Sequence[int] | None,
     paper_expectation: str,
     auction_config: AuctionConfig | None = None,
+    ledger: RunLedger | None = None,
 ) -> ExperimentResult:
     preset = resolve_scale(scale)
     config = base_config(preset, instances=instances, base_seed=base_seed)
     if grid is None:
         grid = _grids(preset, vary)
+    grid = tuple(grid)
+    # Outcome metrics are backend-independent and deterministic, so
+    # they cache under the full declared sweep description; runtime
+    # metrics never take a ledger (a cached wall-clock is meaningless).
+    key = (
+        result_run_key(
+            experiment_id,
+            config,
+            vary=vary,
+            metric=metric,
+            grid=grid,
+            requirement_cap=REQUIREMENT_CAP,
+            auction=auction_config or AuctionConfig(),
+        )
+        if ledger is not None
+        else None
+    )
+    if ledger is not None and key is not None:
+        banked = ledger.get_result(key)
+        if banked is not None:
+            return banked
     datasets = config.datasets()
 
     # Cache per (instance, size): SOAC instance built from one DATE run.
@@ -100,7 +129,7 @@ def _run(
                 sums[name] = sums.get(name, 0.0) + value
         return {name: total / len(datasets) for name, total in sums.items()}
 
-    return sweep_series(
+    result = sweep_series(
         experiment_id,
         title,
         f"number of {vary}",
@@ -118,7 +147,12 @@ def _run(
             "scale": preset.name,
             "auction_backend": (auction_config or AuctionConfig()).backend,
         },
+        ledger=ledger,
+        key=key,
     )
+    if ledger is not None and key is not None:
+        ledger.put_result(key, result)
+    return result
 
 
 def run_fig6a(
@@ -128,6 +162,7 @@ def run_fig6a(
     base_seed: int = 42,
     task_grid: Sequence[int] | None = None,
     auction_config: AuctionConfig | None = None,
+    ledger: RunLedger | None = None,
 ) -> ExperimentResult:
     """Social cost vs. number of tasks for RA / GA / GB."""
     return _run(
@@ -142,6 +177,7 @@ def run_fig6a(
         "social cost rises with tasks; RA cheapest (avg -59.4% vs GA, "
         "-40.2% vs GB)",
         auction_config=auction_config,
+        ledger=ledger,
     )
 
 
@@ -152,6 +188,7 @@ def run_fig6b(
     base_seed: int = 42,
     worker_grid: Sequence[int] | None = None,
     auction_config: AuctionConfig | None = None,
+    ledger: RunLedger | None = None,
 ) -> ExperimentResult:
     """Social cost vs. number of workers for RA / GA / GB."""
     return _run(
@@ -165,6 +202,7 @@ def run_fig6b(
         worker_grid,
         "social cost falls with workers; RA cheapest throughout",
         auction_config=auction_config,
+        ledger=ledger,
     )
 
 
@@ -222,6 +260,7 @@ def run_fig7a_payments(
     base_seed: int = 42,
     task_grid: Sequence[int] | None = None,
     auction_config: AuctionConfig | None = None,
+    ledger: RunLedger | None = None,
 ) -> ExperimentResult:
     """Total payment vs. number of tasks — fig7a's deterministic twin.
 
@@ -244,4 +283,5 @@ def run_fig7a_payments(
         "exceed its bids but its winner sets stay cheap; payments rise "
         "with tasks like the social cost",
         auction_config=auction_config,
+        ledger=ledger,
     )

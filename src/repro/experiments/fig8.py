@@ -16,13 +16,14 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..artifacts import RunLedger, cached_result
 from ..auction.config import AuctionConfig
 from ..auction.properties import bid_utility_curve
 from ..auction.reverse_auction import AuctionOutcome, ReverseAuction
 from ..auction.soac import SOACInstance
 from ..core.date import DATE
 from ..simulation.sweep import ExperimentResult
-from .common import ScalePreset, base_config
+from .common import ScalePreset, base_config, result_run_key
 from .fig67 import REQUIREMENT_CAP
 
 __all__ = ["run_fig8a", "run_fig8b"]
@@ -64,6 +65,30 @@ def _competitive_instance(
             return instance, outcome, auction
     raise RuntimeError(
         "no competitive auction configuration found; use a larger scale"
+    )
+
+
+def _fig8_key(
+    experiment_id: str,
+    scale: str | ScalePreset,
+    base_seed: int,
+    points: int,
+    auction_config: AuctionConfig | None,
+):
+    """Declared fingerprint inputs of the fig8 runners.
+
+    The resolved single-instance config captures scale and seed; the
+    requirement-cap fallback ladder of :func:`_competitive_instance` is
+    deterministic in those inputs, so it needs no extra declaration
+    beyond the cap constant itself.
+    """
+    config = base_config(scale, instances=1, base_seed=base_seed)
+    return result_run_key(
+        experiment_id,
+        config,
+        points=points,
+        requirement_cap=REQUIREMENT_CAP,
+        auction=auction_config or AuctionConfig(),
     )
 
 
@@ -118,6 +143,7 @@ def run_fig8a(
     base_seed: int = 42,
     points: int = 15,
     auction_config: AuctionConfig | None = None,
+    ledger: RunLedger | None = None,
 ) -> ExperimentResult:
     """Utility vs. declared bid for a *winner* (paper's worker 26).
 
@@ -125,26 +151,30 @@ def run_fig8a(
     payment so the curve shows both regimes: below the critical value
     (wins, payment unchanged) and above it (loses, utility 0).
     """
-    instance, outcome, auction = _competitive_instance(
-        scale, base_seed, auction_config
-    )
-    ranked = sorted(
-        (w for w in outcome.winner_ids if w not in outcome.monopolists),
-        key=outcome.payments.__getitem__,
-    )
-    subject = ranked[len(ranked) // 2]
-    return _curve_result(
-        "fig8a",
-        "Truthfulness: utility of a winner versus its declared bid",
-        instance,
-        subject,
-        points,
-        "utility is maximal and constant at/below the truthful bid, "
-        "drops to 0 once the bid exceeds the critical value "
-        "(paper: winner 26 keeps utility 5 when truthful)",
-        base_seed,
-        auction,
-    )
+
+    def build() -> ExperimentResult:
+        instance, outcome, auction = _competitive_instance(
+            scale, base_seed, auction_config
+        )
+        ranked = sorted(
+            (w for w in outcome.winner_ids if w not in outcome.monopolists),
+            key=outcome.payments.__getitem__,
+        )
+        subject = ranked[len(ranked) // 2]
+        return _curve_result(
+            "fig8a",
+            "Truthfulness: utility of a winner versus its declared bid",
+            instance,
+            subject,
+            points,
+            "utility is maximal and constant at/below the truthful bid, "
+            "drops to 0 once the bid exceeds the critical value "
+            "(paper: winner 26 keeps utility 5 when truthful)",
+            base_seed,
+            auction,
+        )
+
+    return cached_result(ledger, _fig8_key("fig8a", scale, base_seed, points, auction_config), build)
 
 
 def run_fig8b(
@@ -153,6 +183,7 @@ def run_fig8b(
     base_seed: int = 42,
     points: int = 15,
     auction_config: AuctionConfig | None = None,
+    ledger: RunLedger | None = None,
 ) -> ExperimentResult:
     """Utility vs. declared bid for a *loser* (paper's worker 58).
 
@@ -160,27 +191,31 @@ def run_fig8b(
     could plausibly win by underbidding — which is exactly the
     manipulation that must not be profitable).
     """
-    instance, outcome, auction = _competitive_instance(
-        scale, base_seed, auction_config
-    )
-    winners = set(outcome.winner_ids)
-    losers = [w for w in instance.worker_ids if w not in winners]
-    if not losers:
-        raise RuntimeError("auction selected every worker; no loser to pick")
-    accuracy_total = {
-        worker_id: float(instance.accuracy[i].sum())
-        for i, worker_id in enumerate(instance.worker_ids)
-    }
-    subject = max(losers, key=lambda w: (accuracy_total[w], w))
-    return _curve_result(
-        "fig8b",
-        "Truthfulness: utility of a loser versus its declared bid",
-        instance,
-        subject,
-        points,
-        "utility never exceeds the truthful 0: underbidding below cost "
-        "may win but yields negative utility (paper: loser 58 stays at "
-        "non-negative utility only when truthful)",
-        base_seed,
-        auction,
-    )
+
+    def build() -> ExperimentResult:
+        instance, outcome, auction = _competitive_instance(
+            scale, base_seed, auction_config
+        )
+        winners = set(outcome.winner_ids)
+        losers = [w for w in instance.worker_ids if w not in winners]
+        if not losers:
+            raise RuntimeError("auction selected every worker; no loser to pick")
+        accuracy_total = {
+            worker_id: float(instance.accuracy[i].sum())
+            for i, worker_id in enumerate(instance.worker_ids)
+        }
+        subject = max(losers, key=lambda w: (accuracy_total[w], w))
+        return _curve_result(
+            "fig8b",
+            "Truthfulness: utility of a loser versus its declared bid",
+            instance,
+            subject,
+            points,
+            "utility never exceeds the truthful 0: underbidding below cost "
+            "may win but yields negative utility (paper: loser 58 stays at "
+            "non-negative utility only when truthful)",
+            base_seed,
+            auction,
+        )
+
+    return cached_result(ledger, _fig8_key("fig8b", scale, base_seed, points, auction_config), build)

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 
+from ..artifacts import RunLedger
 from ..datasets.qatar_living import qatar_world_config
 from ..scenarios.registry import Scenario
 from ..scenarios.runner import run_scenario
@@ -88,6 +89,7 @@ def _run(
     base_seed: int,
     fraction_grid: Sequence[float],
     parallel: int | None,
+    ledger: RunLedger | None = None,
 ) -> ExperimentResult:
     preset = resolve_scale(scale)
     world = qatar_world_config(
@@ -107,7 +109,10 @@ def _run(
                 instances=n_instances,
                 base_seed=base_seed,
             )
-            result = run_scenario(scenario, parallel=parallel)
+            # The ledger banks at *instance* granularity inside
+            # run_scenario; both adversary experiments then share rows
+            # (the scenario fingerprint ignores the metric picked out).
+            result = run_scenario(scenario, parallel=parallel, ledger=ledger)
             row[family] = result.mean(metric)
         return row
 
@@ -135,6 +140,7 @@ def run_adversary_f1(
     base_seed: int = 42,
     fraction_grid: Sequence[float] = _DEFAULT_FRACTIONS,
     parallel: int | None = 1,
+    ledger: RunLedger | None = None,
 ) -> ExperimentResult:
     """Copier-detection F1 vs. adversary fraction per strategy family."""
     return _run(
@@ -149,6 +155,7 @@ def run_adversary_f1(
         base_seed,
         fraction_grid,
         parallel,
+        ledger=ledger,
     )
 
 
@@ -159,6 +166,7 @@ def run_adversary_precision(
     base_seed: int = 42,
     fraction_grid: Sequence[float] = _DEFAULT_FRACTIONS,
     parallel: int | None = 1,
+    ledger: RunLedger | None = None,
 ) -> ExperimentResult:
     """DATE precision vs. adversary fraction per strategy family."""
     return _run(
@@ -172,4 +180,5 @@ def run_adversary_precision(
         base_seed,
         fraction_grid,
         parallel,
+        ledger=ledger,
     )

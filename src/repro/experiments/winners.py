@@ -21,13 +21,14 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 
+from ..artifacts import RunLedger
 from ..auction.config import AuctionConfig
 from ..auction.reverse_auction import ReverseAuction
 from ..auction.soac import SOACInstance
 from ..core.date import DATE
 from ..core.indexing import DatasetIndex
 from ..simulation.sweep import ExperimentResult, sweep_series
-from .common import ScalePreset, base_config
+from .common import ScalePreset, base_config, result_run_key
 from .fig67 import REQUIREMENT_CAP
 
 __all__ = ["run_winners_quality"]
@@ -40,6 +41,7 @@ def run_winners_quality(
     base_seed: int = 42,
     requirement_scales: Sequence[float] = (0.25, 0.5, 0.75, 1.0),
     auction_config: AuctionConfig | None = None,
+    ledger: RunLedger | None = None,
 ) -> ExperimentResult:
     """Measure truth-discovery precision using only auction winners.
 
@@ -47,6 +49,18 @@ def run_winners_quality(
     requirement; 1.0 is the paper's setting.
     """
     config = base_config(scale, instances=instances, base_seed=base_seed)
+    requirement_scales = tuple(requirement_scales)
+    key = result_run_key(
+        "winners",
+        config,
+        requirement_scales=requirement_scales,
+        requirement_cap=REQUIREMENT_CAP,
+        auction=auction_config or AuctionConfig(),
+    )
+    if ledger is not None:
+        banked = ledger.get_result(key)
+        if banked is not None:
+            return banked
     datasets = config.datasets()
     auction = ReverseAuction(auction_config)
 
@@ -84,7 +98,7 @@ def run_winners_quality(
             "winner fraction": fraction_total / count,
         }
 
-    return sweep_series(
+    result = sweep_series(
         "winners",
         "Truth-discovery precision using only the auction's winners",
         "requirement scale",
@@ -102,3 +116,6 @@ def run_winners_quality(
             "base_seed": base_seed,
         },
     )
+    if ledger is not None:
+        ledger.put_result(key, result)
+    return result

@@ -5,12 +5,13 @@ terminal (no plotting dependencies) and exports machine-readable CSV so
 results can be archived and diffed across runs.
 """
 
-from .export import write_csv, write_json
+from .export import read_json, write_csv, write_json
 from .figures import render_chart
 from .tables import format_table, render_result_table
 
 __all__ = [
     "format_table",
+    "read_json",
     "render_chart",
     "render_result_table",
     "write_csv",

@@ -1,4 +1,13 @@
-"""CSV / JSON export of experiment results."""
+"""CSV / JSON export of experiment results, and the JSON inverse.
+
+Floats are written in shortest-``repr`` form in both formats, so a
+written file reads back *exactly*: ``read_json(write_json(result))``
+reproduces the result's x-grid and series bit for bit (the round-trip
+the export tests pin).  The JSON payload is the same form the run
+ledger stores (:meth:`~repro.simulation.sweep.ExperimentResult.
+to_payload`), which is what makes ledger-backed exports equivalent to
+exporting a cold run.
+"""
 
 from __future__ import annotations
 
@@ -8,7 +17,7 @@ from pathlib import Path
 
 from ..simulation.sweep import ExperimentResult
 
-__all__ = ["write_csv", "write_json"]
+__all__ = ["read_json", "write_csv", "write_json"]
 
 
 def write_csv(result: ExperimentResult, path: str | Path) -> Path:
@@ -27,26 +36,18 @@ def write_json(result: ExperimentResult, path: str | Path) -> Path:
     """Write the full result (including meta) as JSON."""
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    payload = {
-        "experiment_id": result.experiment_id,
-        "title": result.title,
-        "x_label": result.x_label,
-        "y_label": result.y_label,
-        "x_values": list(result.x_values),
-        "series": {name: list(ys) for name, ys in result.series.items()},
-        "meta": {k: _jsonable(v) for k, v in result.meta.items()},
-    }
     with open(path, "w") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=True)
+        json.dump(result.to_payload(), handle, indent=2, sort_keys=True)
         handle.write("\n")
     return path
 
 
-def _jsonable(value: object) -> object:
-    if isinstance(value, (str, int, float, bool)) or value is None:
-        return value
-    if isinstance(value, (list, tuple)):
-        return [_jsonable(v) for v in value]
-    if isinstance(value, dict):
-        return {str(k): _jsonable(v) for k, v in value.items()}
-    return str(value)
+def read_json(path: str | Path) -> ExperimentResult:
+    """Read a :func:`write_json` file back into an ExperimentResult.
+
+    The inverse of :func:`write_json`: x values and every series come
+    back bit-identical (JSON floats round-trip exactly); meta comes
+    back as its JSON-safe form.
+    """
+    with open(Path(path)) as handle:
+        return ExperimentResult.from_payload(json.load(handle))

@@ -22,6 +22,7 @@ from collections.abc import Callable, Sequence
 from dataclasses import dataclass
 from functools import partial
 
+from ..artifacts import RunKey, RunLedger
 from ..baselines import MajorityVote
 from ..core.date import DATE, TruthDiscoveryResult
 from ..core.indexing import DatasetIndex
@@ -38,6 +39,7 @@ __all__ = [
     "ScenarioRunResult",
     "detection_report",
     "run_scenario",
+    "scenario_run_key",
     "sweep_scenario",
 ]
 
@@ -189,14 +191,40 @@ class ScenarioRunResult:
         return self.table.mean(metric)
 
 
+def scenario_run_key(scenario: Scenario) -> RunKey:
+    """The per-instance ledger key of a scenario run.
+
+    The whole frozen scenario value object *is* the declaration — the
+    world shape, the ordered strategy stack, the DATE config, the
+    detection threshold, and the auction toggle all live in its fields
+    and are canonically encoded.  Only the instance count is
+    normalized out (instance seeds are count-independent), so growing
+    ``--instances`` reuses banked rows.
+    """
+    return RunKey(
+        experiment_id=f"scenario/{scenario.name}",
+        payload={"scenario": scenario.evolve(instances=1)},
+    )
+
+
 def run_scenario(
-    scenario: Scenario, *, parallel: int | None = 1
+    scenario: Scenario,
+    *,
+    parallel: int | None = 1,
+    ledger: RunLedger | None = None,
 ) -> ScenarioRunResult:
-    """Run every seeded instance of ``scenario`` (optionally in parallel)."""
+    """Run every seeded instance of ``scenario`` (optionally in parallel).
+
+    With a ``ledger`` each instance row is banked under the scenario's
+    content fingerprint (:func:`scenario_run_key`), so repeated and
+    resumed runs recompute only the missing instances.
+    """
     table = run_instances(
         scenario.instances,
         partial(instance_metrics, scenario),
         parallel=parallel,
+        ledger=ledger,
+        key=scenario_run_key(scenario) if ledger is not None else None,
     )
     return ScenarioRunResult(scenario=scenario, table=table)
 
@@ -211,6 +239,7 @@ def sweep_scenario(
     x_label: str = "x",
     metrics: Sequence[str] = ("date_precision", "detection_f1"),
     parallel: int | None = 1,
+    ledger: RunLedger | None = None,
 ) -> ExperimentResult:
     """Sweep a scenario family along an x-grid into plot-ready series.
 
@@ -219,11 +248,13 @@ def sweep_scenario(
     scenario's instances.  Parallelism fans out at the *instance* level
     (the configure callable runs only in the parent process, so it may
     be any local function), which keeps the sweep bit-identical to the
-    serial path for every ``parallel``.
+    serial path for every ``parallel``.  A ``ledger`` banks the
+    instance rows of every evolved scenario, so the sweep resumes at
+    instance granularity.
     """
 
     def point(x: float) -> dict[str, float]:
-        result = run_scenario(configure(base, x), parallel=parallel)
+        result = run_scenario(configure(base, x), parallel=parallel, ledger=ledger)
         return {metric: result.mean(metric) for metric in metrics}
 
     return sweep_series(

@@ -37,6 +37,7 @@ from ..errors import ConfigurationError
 
 __all__ = [
     "available_cpus",
+    "parallel_imap",
     "parallel_map",
     "resolve_parallel",
     "run_jobs",
@@ -142,6 +143,46 @@ def parallel_map(
         except BrokenProcessPool:
             _evict_pool(workers, pool)
             raise
+
+
+def parallel_imap(
+    fn: Callable[[T], R],
+    items: Sequence[T],
+    *,
+    parallel: int | None = 1,
+    chunksize: int = 1,
+):
+    """Iterator twin of :func:`parallel_map`: results stream back in
+    submission order as they complete.
+
+    This is what the run ledger's resumable path consumes — each
+    finished result can be persisted *before* the next one computes, so
+    an interruption (^C, OOM, a broken pool) loses at most the work in
+    flight, never the finished prefix.  Unlike :func:`parallel_map`
+    there is no transparent broken-pool retry: a consumer that already
+    observed results cannot be replayed safely, so the error propagates
+    and the caller's next run resumes from what it banked.
+    """
+    workers = resolve_parallel(parallel)
+    items = list(items)
+    if workers == 1 or len(items) <= 1:
+        return (fn(item) for item in items)
+    return _imap_pooled(fn, items, workers, chunksize)
+
+
+def _imap_pooled(fn, items, workers: int, chunksize: int):
+    """Pool-backed body of :func:`parallel_imap`.
+
+    A broken pool is evicted from the cache before the error
+    propagates — the consumer cannot be replayed, but its *next* call
+    must get a fresh pool instead of the poisoned one forever.
+    """
+    pool = _pool(workers)
+    try:
+        yield from pool.map(fn, items, chunksize=chunksize)
+    except BrokenProcessPool:
+        _evict_pool(workers, pool)
+        raise
 
 
 def run_jobs(

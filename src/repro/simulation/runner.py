@@ -5,15 +5,30 @@ per seeded instance and collect the per-instance metric rows into an
 :class:`InstanceTable`, which aggregates each column into
 :class:`~repro.simulation.stats.SummaryStats`.  Experiments (and users)
 supply only the body — "given instance ``k``, produce numbers".
+
+With a :class:`~repro.artifacts.RunLedger` and a :class:`~repro.
+artifacts.RunKey` the harness becomes *resumable at instance
+granularity*: each instance row is looked up under its content
+fingerprint before anything is submitted to the process pool, only the
+missing instances are computed (and persisted as they finish), and the
+assembled table is bit-identical to a cold run because rows round-trip
+through JSON losslessly.  Since instance seeds do not depend on the
+instance *count* (``SeedSequence.spawn`` keys each child by its index
+alone), growing ``instances`` reuses the already-banked prefix.
 """
 
 from __future__ import annotations
 
 from collections.abc import Callable, Mapping
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
-from .executor import parallel_map
+from ..errors import ConfigurationError, MetricMismatchError
+from .executor import parallel_imap, parallel_map
 from .stats import SummaryStats, summarize
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from ..artifacts import RunKey, RunLedger
 
 __all__ = ["InstanceTable", "run_instances"]
 
@@ -39,12 +54,29 @@ class InstanceTable:
 
     @property
     def metric_names(self) -> set[str]:
-        """Names present in every row."""
+        """The metric names shared by all rows.
+
+        Every instance must report exactly the same metrics; a ragged
+        table raises :class:`~repro.errors.MetricMismatchError` naming
+        the first offending instance and its missing/unexpected metrics
+        instead of silently intersecting columns away.
+        """
         if not self.rows:
             return set()
         names = set(self.rows[0])
-        for row in self.rows[1:]:
-            names &= set(row)
+        for k, row in enumerate(self.rows[1:], start=1):
+            if set(row) != names:
+                missing = sorted(names - set(row))
+                unexpected = sorted(set(row) - names)
+                parts = []
+                if missing:
+                    parts.append(f"missing {missing}")
+                if unexpected:
+                    parts.append(f"unexpected {unexpected}")
+                raise MetricMismatchError(
+                    f"instance {k} reports different metrics than instance 0: "
+                    f"{'; '.join(parts)} (instance 0 reported {sorted(names)})"
+                )
         return names
 
     def summary(self) -> dict[str, SummaryStats]:
@@ -60,8 +92,20 @@ class InstanceTable:
         return len(self.rows)
 
 
+def _checked(raw: Mapping[str, float], k: int) -> dict[str, float]:
+    row = dict(raw)
+    if not row:
+        raise ValueError(f"metric function returned no metrics for instance {k}")
+    return row
+
+
 def run_instances(
-    instances: int, metric_fn: MetricFn, *, parallel: int | None = 1
+    instances: int,
+    metric_fn: MetricFn,
+    *,
+    parallel: int | None = 1,
+    ledger: "RunLedger | None" = None,
+    key: "RunKey | None" = None,
 ) -> InstanceTable:
     """Run ``metric_fn`` for instance indexes ``0..instances-1``.
 
@@ -73,15 +117,42 @@ def run_instances(
     bit-identical to the serial run.  With ``parallel > 1`` the metric
     function must be picklable (a module-level function or a partial of
     one).
+
+    ``ledger`` + ``key`` route the run through the content-addressed
+    store: cached instance rows are read back instead of recomputed,
+    only the missing indexes hit the pool, and freshly computed rows
+    are persisted.  ``key.payload`` must describe everything
+    ``metric_fn`` reads *except* the instance count (so prefixes stay
+    shared across differently sized runs).
     """
     if instances < 1:
         raise ValueError("instances must be >= 1")
-    rows = []
-    for k, raw in enumerate(
-        parallel_map(metric_fn, range(instances), parallel=parallel)
+    if ledger is not None and key is None:
+        raise ConfigurationError(
+            "run_instances got a ledger but no key declaring the work"
+        )
+    if ledger is None or key is None:
+        rows = [
+            _checked(raw, k)
+            for k, raw in enumerate(
+                parallel_map(metric_fn, range(instances), parallel=parallel)
+            )
+        ]
+        return InstanceTable(rows=tuple(rows))
+
+    banked: list[dict[str, float] | None] = [
+        ledger.get_row(key, k) for k in range(instances)
+    ]
+    missing = [k for k, row in enumerate(banked) if row is None]
+    # Stream results back and bank each row the moment it exists: an
+    # interrupted run keeps its finished prefix, and the next run
+    # resumes at the first row it never banked.
+    for k, raw in zip(
+        missing, parallel_imap(metric_fn, missing, parallel=parallel)
     ):
-        row = dict(raw)
-        if not row:
-            raise ValueError(f"metric function returned no metrics for instance {k}")
-        rows.append(row)
-    return InstanceTable(rows=tuple(rows))
+        row = _checked(raw, k)
+        ledger.put_row(key, k, row)
+        banked[k] = row
+    return InstanceTable(
+        rows=tuple(_checked(row, k) for k, row in enumerate(banked))
+    )

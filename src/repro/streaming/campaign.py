@@ -15,6 +15,11 @@ import time
 from collections import OrderedDict
 from collections.abc import Iterable
 
+from ..artifacts import (
+    RunLedger,
+    truth_result_from_payload,
+    truth_result_to_payload,
+)
 from ..auction.config import AuctionConfig
 from ..core.config import DateConfig
 from ..core.date import TruthDiscoveryResult
@@ -109,6 +114,14 @@ class CampaignStore:
     max_campaigns:
         When set, creating a campaign beyond this count evicts the
         least recently touched one.
+    ledger:
+        Optional :class:`~repro.artifacts.RunLedger`.  Every full
+        refresh (explicit ``estimate(refresh=True)`` or the one the
+        auction runs) is persisted under the fingerprint of ``(DATE
+        config, campaign content)``, and looked up before recomputing —
+        so a *restarted* store replaying the same campaign warm-starts
+        from the banked refresh instead of re-estimating, bit-identical
+        because the fingerprint covers every byte the estimation reads.
     """
 
     def __init__(
@@ -117,6 +130,7 @@ class CampaignStore:
         config: DateConfig | None = None,
         refresh_every: int = 0,
         max_campaigns: int | None = None,
+        ledger: RunLedger | None = None,
     ):
         if max_campaigns is not None and max_campaigns < 1:
             raise ConfigurationError(
@@ -125,6 +139,7 @@ class CampaignStore:
         self.default_config = config or DateConfig()
         self.default_refresh_every = refresh_every
         self.max_campaigns = max_campaigns
+        self.ledger = ledger
         self._campaigns: OrderedDict[str, Campaign] = OrderedDict()
         self._lock = threading.RLock()
 
@@ -200,6 +215,25 @@ class CampaignStore:
             campaign.last_update = time.time()
             return update
 
+    def _refresh(self, campaign: Campaign) -> TruthDiscoveryResult:
+        """Full refresh through the ledger (campaign lock must be held).
+
+        With a ledger, the refresh for *exactly this campaign content
+        and config* is looked up first and adopted wholesale on a hit
+        (:meth:`OnlineDATE.adopt_refresh`); a miss computes cold and
+        banks the result.  Without a ledger this is a plain refresh.
+        """
+        online = campaign.online
+        if self.ledger is None:
+            return online.refresh()
+        snapshot_key = _campaign_content_key(online)
+        payload = self.ledger.get_snapshot(snapshot_key)
+        if payload is not None:
+            return online.adopt_refresh(truth_result_from_payload(payload))
+        result = online.refresh()
+        self.ledger.put_snapshot(snapshot_key, truth_result_to_payload(result))
+        return result
+
     def estimate(
         self, campaign_id: str, *, refresh: bool = False
     ) -> TruthDiscoveryResult:
@@ -207,7 +241,7 @@ class CampaignStore:
         campaign = self.get(campaign_id)
         with campaign.lock:
             if refresh:
-                result = campaign.online.refresh()
+                result = self._refresh(campaign)
                 campaign.last_update = time.time()
                 return result
             return campaign.online.snapshot()
@@ -243,7 +277,7 @@ class CampaignStore:
         """
         campaign = self.get(campaign_id)
         with campaign.lock:
-            truth = campaign.online.refresh()
+            truth = self._refresh(campaign)
             campaign.last_update = time.time()
             mechanism = IMC2(
                 truth_algorithm=_SnapshotTruth(truth),
@@ -274,3 +308,22 @@ class CampaignStore:
         """Summaries of all live campaigns, least recently used first."""
         with self._lock:
             return [c.describe() for c in self._campaigns.values()]
+
+
+def _campaign_content_key(online: OnlineDATE) -> dict:
+    """The snapshot fingerprint inputs: config + full campaign content.
+
+    Everything the refresh estimation reads is here — the DATE
+    hyperparameters and every task, worker profile, and claim, in
+    index order (the result's worker/task orderings follow it, so two
+    campaigns that accumulated the same content in different arrival
+    orders are distinct work units).  A ledger hit is therefore
+    guaranteed to carry the refresh this exact campaign would compute.
+    """
+    dataset = online.dataset
+    return {
+        "date": online.config,
+        "tasks": dataset.tasks,
+        "workers": dataset.workers,
+        "claims": dataset.claims,
+    }

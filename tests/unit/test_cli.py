@@ -160,3 +160,135 @@ class TestAblationExperiment:
         )
         assert result.meta["variants"] == ["default", "literal"]
         assert len(result.y("precision")) == 2
+
+
+class TestRunCache:
+    _ARGS = [
+        "run", "fig3b",
+        "--instances", "1",
+        "--no-chart",
+    ]
+
+    def test_cached_rerun_bit_identical_and_reports_hits(
+        self, tmp_path, capsys
+    ):
+        store = str(tmp_path / "store")
+        outs = []
+        for name in ("cold", "warm"):
+            out_dir = tmp_path / name
+            code = main(
+                [*self._ARGS, "--cache", "--store", store, "--out", str(out_dir)]
+            )
+            assert code == 0
+            outs.append(capsys.readouterr().out)
+        assert "0 hits" in outs[0]
+        assert "0 misses" in outs[1]
+        assert "hit rate 100.0%" in outs[1]
+        cold = (tmp_path / "cold" / "fig3b.json").read_text()
+        warm = (tmp_path / "warm" / "fig3b.json").read_text()
+        assert cold == warm
+        assert (tmp_path / "cold" / "fig3b.csv").read_text() == (
+            tmp_path / "warm" / "fig3b.csv"
+        ).read_text()
+
+    def test_no_cache_prints_no_ledger_line(self, capsys):
+        code = main([*self._ARGS])
+        assert code == 0
+        assert "ledger:" not in capsys.readouterr().out
+
+    def test_timing_experiment_ignores_cache(self, tmp_path, capsys):
+        code = main(
+            ["run", "fig5a", "--instances", "1", "--no-chart",
+             "--cache", "--store", str(tmp_path / "store")]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "never cached" in out
+        assert "hit rate" not in out
+
+
+class TestLedgerCommand:
+    def _seed_store(self, tmp_path) -> str:
+        store = str(tmp_path / "store")
+        assert main(
+            ["run", "fig3b", "--instances", "1", "--no-chart",
+             "--cache", "--store", store]
+        ) == 0
+        return store
+
+    def test_list_shows_rows_and_results(self, tmp_path, capsys):
+        store = self._seed_store(tmp_path)
+        capsys.readouterr()
+        assert main(["ledger", "list", "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "fig3b" in out
+        assert "rows" in out and "results" in out
+        assert "instance 0" in out
+
+    def test_list_kind_filter(self, tmp_path, capsys):
+        store = self._seed_store(tmp_path)
+        capsys.readouterr()
+        assert main(["ledger", "list", "--store", store, "--kind", "rows"]) == 0
+        out = capsys.readouterr().out
+        assert "instance 0" in out
+        assert "| results |" not in out
+
+    def test_show_prints_entry_payload(self, tmp_path, capsys):
+        store = self._seed_store(tmp_path)
+        capsys.readouterr()
+        assert main(["ledger", "list", "--store", store]) == 0
+        listing = capsys.readouterr().out
+        prefix = next(
+            line.split("|")[0].strip()
+            for line in listing.splitlines()
+            if "| rows" in line.replace("|    rows", "| rows")
+        )
+        assert main(["ledger", "show", prefix, "--store", store]) == 0
+        import json as json_module
+
+        payload = json_module.loads(capsys.readouterr().out)
+        assert payload["experiment_id"] == "fig3b"
+        assert "body" in payload and "key" in payload
+
+    def test_show_unknown_prefix_exits(self, tmp_path, capsys):
+        store = self._seed_store(tmp_path)
+        with pytest.raises(SystemExit):
+            main(["ledger", "show", "f" * 64, "--store", store])
+
+    def test_gc_requires_scope(self, tmp_path):
+        store = self._seed_store(tmp_path)
+        with pytest.raises(SystemExit):
+            main(["ledger", "gc", "--store", store])
+
+    def test_gc_all_empties_store(self, tmp_path, capsys):
+        store = self._seed_store(tmp_path)
+        capsys.readouterr()
+        assert main(["ledger", "gc", "--store", store, "--all"]) == 0
+        assert "removed" in capsys.readouterr().out
+        assert main(["ledger", "list", "--store", store]) == 0
+        assert "0 of 0 entries" in capsys.readouterr().out
+
+
+class TestScenarioCache:
+    def test_scenario_run_cached_rerun(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        args = [
+            "scenario", "run", "lazy-spammers",
+            "--instances", "1",
+            "--cache", "--store", store,
+        ]
+        assert main(args) == 0
+        cold = capsys.readouterr().out
+        assert main(args) == 0
+        warm = capsys.readouterr().out
+        assert "0 hits" in cold
+        assert "hit rate 100.0%" in warm
+
+        def metric_rows(text: str) -> list[str]:
+            lines = text.splitlines()
+            return [
+                line for line in lines
+                if line.startswith(("date_", "mv_", "detection_", "n_"))
+            ]
+
+        assert metric_rows(cold) == metric_rows(warm)

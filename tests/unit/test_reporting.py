@@ -7,8 +7,10 @@ import json
 
 import pytest
 
+from repro.artifacts import RunKey, RunLedger
 from repro.reporting import (
     format_table,
+    read_json,
     render_chart,
     render_result_table,
     write_csv,
@@ -120,3 +122,67 @@ class TestExport:
         payload = json.loads(write_json(result, tmp_path / "x.json").read_text())
         assert isinstance(payload["meta"]["obj"], str)
         assert payload["meta"]["nested"]["tuple"] == [1, 2]
+
+
+@pytest.fixture
+def awkward_result() -> ExperimentResult:
+    """Floats chosen to break any decimal-rounding serialization."""
+    return ExperimentResult(
+        experiment_id="awkward",
+        title="Exactness probe",
+        x_label="x",
+        y_label="y",
+        x_values=(0.1, 1.0 / 3.0, 2.0**-40),
+        series={
+            "sum": (0.1 + 0.2, 1e-300, 5e-324),
+            "big": (1.7976931348623157e308, -0.0, 123456789.123456789),
+        },
+        meta={"instances": 3, "base_seed": 42},
+    )
+
+
+class TestExportInverse:
+    def test_read_json_is_exact_inverse(self, awkward_result, tmp_path):
+        path = write_json(awkward_result, tmp_path / "a.json")
+        back = read_json(path)
+        assert back.x_values == awkward_result.x_values
+        assert back.series == awkward_result.series
+        for name, ys in awkward_result.series.items():
+            for original, restored in zip(ys, back.y(name)):
+                assert repr(original) == repr(restored)
+        assert back.experiment_id == awkward_result.experiment_id
+        assert back.x_label == awkward_result.x_label
+        assert back.y_label == awkward_result.y_label
+        assert back.meta == awkward_result.meta
+
+    def test_write_read_write_is_fixed_point(self, awkward_result, tmp_path):
+        first = write_json(awkward_result, tmp_path / "first.json")
+        second = write_json(read_json(first), tmp_path / "second.json")
+        assert first.read_text() == second.read_text()
+
+    def test_csv_floats_read_back_exactly(self, awkward_result, tmp_path):
+        # CSV cells use repr(), so float() inverts them bit for bit.
+        path = write_csv(awkward_result, tmp_path / "a.csv")
+        with open(path, newline="") as handle:
+            header, *rows = list(csv.reader(handle))
+        assert header == ["x", "big", "sum"] or header[0] == "x"
+        names = header[1:]
+        for k, row in enumerate(rows):
+            assert float(row[0]) == awkward_result.x_values[k]
+            for name, cell in zip(names, row[1:]):
+                assert float(cell) == awkward_result.series[name][k]
+
+    def test_ledger_backed_export_equivalence(self, awkward_result, tmp_path):
+        # Exporting a result replayed from the ledger writes the same
+        # bytes as exporting the original (the acceptance contract for
+        # cache-hit `repro run --out`).
+        ledger = RunLedger(tmp_path / "store")
+        key = RunKey("awkward", {"seed": 42})
+        ledger.put_result(key, awkward_result)
+        replayed = ledger.get_result(key)
+        cold_json = write_json(awkward_result, tmp_path / "cold.json")
+        warm_json = write_json(replayed, tmp_path / "warm.json")
+        assert cold_json.read_text() == warm_json.read_text()
+        cold_csv = write_csv(awkward_result, tmp_path / "cold.csv")
+        warm_csv = write_csv(replayed, tmp_path / "warm.csv")
+        assert cold_csv.read_text() == warm_csv.read_text()

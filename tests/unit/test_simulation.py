@@ -6,7 +6,13 @@ import time
 
 import pytest
 
-from repro import DATE, ConfigurationError, ExperimentConfig, MajorityVote
+from repro import (
+    DATE,
+    ConfigurationError,
+    ExperimentConfig,
+    MajorityVote,
+    MetricMismatchError,
+)
 from repro.simulation import (
     InstanceTable,
     SummaryStats,
@@ -61,10 +67,20 @@ class TestRunner:
         assert isinstance(summary["a"], SummaryStats)
 
     def test_missing_metric_raises_with_hint(self):
-        table = InstanceTable(rows=({"a": 1.0}, {"b": 2.0}))
-        with pytest.raises(KeyError):
-            table.column("a")
-        assert table.metric_names == set()
+        table = InstanceTable(rows=({"a": 1.0, "b": 2.0}, {"a": 3.0, "b": 4.0}))
+        with pytest.raises(KeyError, match="'c'"):
+            table.column("c")
+
+    def test_ragged_rows_raise_naming_instance_and_metric(self):
+        # A ragged table is a shape bug in the metric function; the
+        # names property must name the offender instead of silently
+        # intersecting columns away.
+        table = InstanceTable(rows=({"a": 1.0, "b": 2.0}, {"a": 3.0}, {"a": 5.0}))
+        with pytest.raises(MetricMismatchError, match=r"instance 1.*missing \['b'\]"):
+            table.metric_names
+        extra = InstanceTable(rows=({"a": 1.0}, {"a": 2.0, "zz": 3.0}))
+        with pytest.raises(MetricMismatchError, match=r"unexpected \['zz'\]"):
+            extra.summary()
 
     def test_empty_metrics_rejected(self):
         with pytest.raises(ValueError):
