@@ -13,8 +13,10 @@ suites and prints a summary table of whatever trajectory files exist::
 
 Hardware-sensitive speedup gates are excluded by default (same policy
 as CI); pass ``--with-gates`` on a quiet machine to include them.  The
-JSON files are measurements, not fixtures — they are git-ignored and
-uploaded as CI artifacts.
+JSON files are measurements, not fixtures — each run *appends* to the
+suite's trajectory (newest last, bounded), the files are git-ignored
+and uploaded as CI artifacts, except ``BENCH_dependence.json`` whose
+seeded trajectory is committed as the dependence-engine reference.
 """
 
 from __future__ import annotations
@@ -54,17 +56,24 @@ def run_suite(suite: str, *, with_gates: bool) -> int:
 
 
 def summarize() -> None:
-    """Print one line per BENCH_*.json at the repo root."""
+    """Print one line per BENCH_*.json at the repo root.
+
+    Files hold a run trajectory (newest last); the summary shows the
+    latest run plus the trajectory depth.  Pre-append single-run files
+    are read as one-entry trajectories.
+    """
     files = sorted(REPO_ROOT.glob("BENCH_*.json"))
     if not files:
         print("no BENCH_*.json files found")
         return
-    print(f"\n{'suite':<24} {'tests':>5} {'total':>10}")
+    print(f"\n{'suite':<24} {'tests':>5} {'total':>10} {'runs':>5}")
     for path in files:
         payload = json.loads(path.read_text())
+        runs = payload.get("runs") or [payload]
+        latest = runs[-1]
         print(
-            f"{payload['suite']:<24} {len(payload['timings']):>5} "
-            f"{payload['total_seconds']:>9.2f}s"
+            f"{payload['suite']:<24} {len(latest['timings']):>5} "
+            f"{latest['total_seconds']:>9.2f}s {len(runs):>5}"
         )
 
 

@@ -28,7 +28,7 @@ import numpy as np
 from ..core.config import DateConfig
 from ..core.date import DATE
 from ..core.dependence import DependencePosterior, directed_probability
-from ..core.engine import DependenceArrays
+from ..core.engine import DependenceArrays, DirectedDependenceLookup
 from ..core.independence import IndependenceTable
 from ..core.indexing import ClaimArrays, DatasetIndex
 from ..errors import ConfigurationError
@@ -113,15 +113,18 @@ class EnumerateDependence(DATE):
 
         Steps 1 and 3 ride the vectorized kernels; the per-worker
         ``2^k`` configuration sweep — the cost ED exists to measure —
-        stays explicit, fed by the dense directed-dependence lookup.
+        stays explicit, fed by the O(pairs) sorted-key dependence
+        lookup (the dense n_workers² matrix is never materialized;
+        unset entries and the diagonal gather as 0, exactly as the
+        dense matrix's zeros did).
         """
         r = self.config.copy_prob_r
-        directed = dependence.directed_matrix(arrays)
+        directed = DirectedDependenceLookup.build(arrays, dependence)
         indep = np.ones(arrays.n_claims, dtype=np.float64)
         for m, claim_idx in arrays.multi_group_buckets:
             members = arrays.claim_worker[claim_idx]  # (G, m)
             # r * P(i -> i') for every ordered member pair of the group.
-            edges = r * directed[members[:, :, None], members[:, None, :]]
+            edges = r * directed.gather(members[:, :, None], members[:, None, :])
             if m - 1 <= self.exact_enumeration_limit:
                 off_diag = ~np.eye(m, dtype=bool)
                 for g in range(len(members)):

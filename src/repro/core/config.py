@@ -66,6 +66,22 @@ class DateConfig:
         into.  Both produce the same results (DESIGN.md §7; pinned by
         tests/property/test_property_backends.py) — keep the reference
         around for equivalence testing and line-by-line auditing.
+    stable_dependence:
+        Vectorized-backend fast path (DESIGN.md §12): maintain the
+        pairwise dependence aggregates incrementally across fixed-point
+        iterations (:class:`repro.core.engine.IncrementalDependence`),
+        so a task whose truth code and claim accuracies did not move
+        between iterations skips re-scoring entirely.  Bit-identical to
+        the default full recompute — this is a cost knob, never a
+        results knob (pinned by
+        tests/property/test_property_incremental_dependence.py).
+    intra_workers:
+        Intra-campaign parallelism for the vectorized dependence and
+        posterior kernels: flattened rows are cut into fixed contiguous
+        blocks, partial segment sums run on a shared thread pool, and
+        the partials reduce in fixed block order — deterministic
+        run-to-run, within 1e-9 of serial (exact where fp order
+        allows).  1 (default) keeps the bit-exact serial path.
     """
 
     copy_prob_r: float = 0.4
@@ -81,6 +97,8 @@ class DateConfig:
     similarity: SimilarityFn | None = None
     similarity_weight: float = 0.0
     backend: str = "vectorized"
+    stable_dependence: bool = False
+    intra_workers: int = 1
 
     def __post_init__(self) -> None:
         if not 0.0 < self.copy_prob_r < 1.0:
@@ -133,6 +151,10 @@ class DateConfig:
         if self.backend not in ("vectorized", "reference"):
             raise ConfigurationError(
                 f"backend must be 'vectorized' or 'reference', got {self.backend!r}"
+            )
+        if not isinstance(self.intra_workers, int) or self.intra_workers < 1:
+            raise ConfigurationError(
+                f"intra_workers must be an int >= 1, got {self.intra_workers!r}"
             )
 
     def evolve(self, **changes: Any) -> "DateConfig":

@@ -37,6 +37,7 @@ from .config import DateConfig
 from .dependence import DependencePosterior, compute_pairwise_dependence
 from .engine import (
     DependenceArrays,
+    IncrementalDependence,
     accuracy_flat,
     dense_accuracy,
     dependence_table,
@@ -365,18 +366,37 @@ class DATE:
         indep = None
         group_post = None
         group_support = None
-
-        def step(truth_codes):
-            nonlocal dependence, indep, group_post, group_support, claim_acc
-            dependence = pairwise_dependence_arrays(
+        # stable_dependence maintains the pairwise aggregates between
+        # iterations: a task whose truth code and claim accuracies did
+        # not move is never re-scored, bit-identically to the full pass
+        # (DESIGN.md §12).  The engine's first refresh is a full pass.
+        engine = (
+            IncrementalDependence(
                 arrays,
-                truth_codes,
-                claim_acc,
                 copy_prob_r=cfg.copy_prob_r,
                 prior_alpha=cfg.prior_alpha,
                 collision=collision,
                 accuracy_clamp=cfg.accuracy_clamp,
             )
+            if cfg.stable_dependence
+            else None
+        )
+
+        def step(truth_codes):
+            nonlocal dependence, indep, group_post, group_support, claim_acc
+            if engine is not None:
+                dependence = engine.refresh(truth_codes, claim_acc)
+            else:
+                dependence = pairwise_dependence_arrays(
+                    arrays,
+                    truth_codes,
+                    claim_acc,
+                    copy_prob_r=cfg.copy_prob_r,
+                    prior_alpha=cfg.prior_alpha,
+                    collision=collision,
+                    accuracy_clamp=cfg.accuracy_clamp,
+                    intra_workers=cfg.intra_workers,
+                )
             indep = self._independence_flat(index, arrays, dependence)
             if cfg.discounted_posterior:
                 group_post = discounted_posterior_groups(
@@ -385,6 +405,7 @@ class DATE:
                     indep,
                     group_q=group_q,
                     accuracy_clamp=cfg.accuracy_clamp,
+                    intra_workers=cfg.intra_workers,
                 )
             else:
                 group_post = plain_posterior_groups(
@@ -392,6 +413,7 @@ class DATE:
                     claim_acc,
                     false_values=cfg.false_values,
                     accuracy_clamp=cfg.accuracy_clamp,
+                    intra_workers=cfg.intra_workers,
                 )
             claim_acc = accuracy_flat(
                 arrays, group_post, granularity=cfg.granularity
@@ -414,25 +436,26 @@ class DATE:
         )
         truths = arrays.truth_values(truth_codes)
         if lean:
-            # Only the selected value's posterior survives (it feeds the
-            # result's confidence map); the full tables stay empty.
-            posteriors: list[dict[str, float]] = [{} for _ in truths]
+            # Only the selected value's posterior survives, gathered
+            # straight into the confidence map — no per-task posterior
+            # tables are materialized at all.
+            confidence: dict[str, float] = {}
             if group_post is not None:
-                for j, value in enumerate(truths):
-                    if value is None:
-                        continue
-                    group = int(arrays.task_group_ptr[j]) + int(truth_codes[j])
-                    posteriors[j] = {value: float(group_post[group])}
+                answered = np.flatnonzero(truth_codes >= 0)
+                groups = arrays.task_group_ptr[answered] + truth_codes[answered]
+                for j, g in zip(answered, groups):
+                    confidence[index.task_ids[j]] = float(group_post[g])
             return build_result(
                 index,
                 truths,
                 dense_accuracy(arrays, claim_acc),
-                posteriors,
+                [],
                 [],
                 {},
                 iterations=iterations,
                 converged=converged,
                 method=self.method_name,
+                confidence=confidence,
             )
         return build_result(
             index,
@@ -460,23 +483,27 @@ def build_result(
     iterations: int,
     converged: bool,
     method: str,
+    confidence: dict[str, float] | None = None,
 ) -> TruthDiscoveryResult:
     """Assemble a :class:`TruthDiscoveryResult` from index-space pieces.
 
     Shared by DATE and the baselines so every algorithm reports the
-    same, directly comparable structure.
+    same, directly comparable structure.  ``confidence`` short-circuits
+    the posterior-table lookup for callers that already hold the
+    selected values' posteriors (the lean path).
     """
     truth_map = {
         index.task_ids[j]: value
         for j, value in enumerate(truths)
         if value is not None
     }
-    confidence = {}
-    for j, value in enumerate(truths):
-        if value is None:
-            continue
-        if j < len(posteriors) and posteriors[j]:
-            confidence[index.task_ids[j]] = posteriors[j].get(value, 0.0)
+    if confidence is None:
+        confidence = {}
+        for j, value in enumerate(truths):
+            if value is None:
+                continue
+            if j < len(posteriors) and posteriors[j]:
+                confidence[index.task_ids[j]] = posteriors[j].get(value, 0.0)
     support_map = {
         index.task_ids[j]: dict(counts)
         for j, counts in enumerate(support)

@@ -574,6 +574,24 @@ class ClaimArrays:
         """Claim position of ``pair_b``'s claim on the row's task."""
         return self._pair_tables[6]
 
+    @cached_property
+    def pair_rows_by_task(self) -> tuple[np.ndarray, np.ndarray]:
+        """CSR over tasks of the (pair, shared task) row positions.
+
+        ``ptr, rows = pair_rows_by_task`` slices, per task ``j``, the
+        positions ``rows[ptr[j]:ptr[j + 1]]`` of every pair-table row
+        whose shared task is ``j`` (in ascending row order — the argsort
+        is stable).  This is the lookup the incremental dependence
+        engine uses to find the rows invalidated by a change to task
+        ``j`` without scanning all of ``ps_task``.
+        """
+        n_tasks = self.index.n_tasks
+        ps_task = self.ps_task
+        rows = np.argsort(ps_task, kind="stable")
+        ptr = np.zeros(n_tasks + 1, dtype=np.int64)
+        np.cumsum(np.bincount(ps_task, minlength=n_tasks), out=ptr[1:])
+        return ptr, rows
+
     # -- derived sizes ---------------------------------------------------
 
     @property

@@ -35,8 +35,8 @@ import numpy as np
 
 from ..core.config import DateConfig
 from ..core.date import DATE, TruthDiscoveryResult
-from ..core.engine import dense_accuracy
-from ..core.indexing import DatasetIndex
+from ..core.engine import DependenceArrays, IncrementalDependence, dense_accuracy
+from ..core.indexing import ClaimArrays, DatasetIndex
 from ..errors import ConfigurationError
 from ..types import Dataset
 from .ingest import ClaimBatch
@@ -97,15 +97,39 @@ class OnlineDATE:
         Run a full refresh automatically after every N ingested
         batches; 0 (default) refreshes only on explicit
         :meth:`refresh` calls.
+    track_dependence:
+        Maintain campaign-level pairwise dependence posteriors
+        incrementally across batches
+        (:class:`~repro.core.engine.IncrementalDependence`): each
+        ingest carries the untouched rows' cached contributions across
+        the index extension and re-scores only the dirty tasks' rows,
+        so :meth:`dependence_snapshot` stays bit-identical to a full
+        recompute at a fraction of its cost (DESIGN.md §12).  Off by
+        default — the aggregates cost O(pair rows) memory.
+
+    The vectorized dirty-scope sub-runs always use the
+    ``stable_dependence`` fast path: it is pinned bit-identical to the
+    full per-iteration recompute, so it is a pure cost saving and never
+    observable in results.
     """
 
-    def __init__(self, config: DateConfig | None = None, *, refresh_every: int = 0):
+    def __init__(
+        self,
+        config: DateConfig | None = None,
+        *,
+        refresh_every: int = 0,
+        track_dependence: bool = False,
+    ):
         if refresh_every < 0:
             raise ConfigurationError(
                 f"refresh_every must be >= 0, got {refresh_every}"
             )
         self._config = config or DateConfig()
+        self._sub_config = self._config.evolve(stable_dependence=True)
         self.refresh_every = refresh_every
+        self._track_dependence = track_dependence
+        self._engine: IncrementalDependence | None = None
+        self._truth_codes = np.empty(0, dtype=np.int64)
         self._index = DatasetIndex(Dataset(tasks=(), workers=(), claims={}))
         self._claim_acc = np.empty(0, dtype=np.float64)
         self._truths: dict[str, str] = {}
@@ -227,6 +251,21 @@ class OnlineDATE:
         self._index = ext.index
         self._claim_acc = claim_acc
         self._batches += 1
+        if self._track_dependence:
+            self._truth_codes = self._extend_truth_codes(ext)
+            if self._engine is not None:
+                # Carry the untouched rows' cached contributions across
+                # the extension; only the dirty tasks' rows re-score.
+                # Valid because the merge step below writes truths and
+                # claim accuracies for dirty tasks only, so every other
+                # row's inputs are bit-frozen between batches.
+                self._engine.rebind(
+                    self._index.arrays,
+                    collision=self._collision_array(),
+                    dirty_tasks=np.asarray(ext.dirty_tasks, dtype=np.int64),
+                    truth_codes=self._truth_codes,
+                    claim_acc=self._claim_acc,
+                )
 
         iterations = 0
         refreshed = (
@@ -244,11 +283,21 @@ class OnlineDATE:
             ]
             if dirty:
                 sub = _subcampaign(self._index, dirty)
-                result = DATE(self._config).run(
+                result = DATE(self._sub_config).run(
                     sub, warm_start=self._warm_snapshot(), lean=True
                 )
                 self._merge(dirty, result)
                 iterations = result.iterations
+            if self._track_dependence:
+                arrays = self._index.arrays
+                for j in dirty:
+                    self._truth_codes[j] = _truth_code_of(
+                        arrays, j, self._truths.get(self._index.task_ids[j])
+                    )
+                if self._engine is not None:
+                    # Fold the merged dirty-task results back in (a
+                    # stored-state diff finds exactly those tasks).
+                    self._engine.refresh(self._truth_codes, self._claim_acc)
         return OnlineUpdate(
             batch=self._batches,
             new_tasks=len(batch.tasks),
@@ -297,9 +346,63 @@ class OnlineDATE:
         self._truths = dict(result.truths)
         self._confidence = dict(result.confidence)
         self._last_refresh = result
+        if self._track_dependence:
+            self._truth_codes = arrays.truth_codes(
+                [result.truths.get(task_id) for task_id in index.task_ids]
+            )
+            # A refresh rewrites accuracies campaign-wide; the next
+            # snapshot/ingest rebuilds the aggregates from scratch.
+            self._engine = None
         return result
 
+    def dependence_snapshot(self) -> DependenceArrays:
+        """Current campaign-level pairwise dependence posteriors.
+
+        Requires ``track_dependence=True``.  The first call (and the
+        first after a full refresh) pays one full scoring pass; later
+        calls re-score only what ingests dirtied since — bit-identical
+        to recomputing from the current truths and accuracies.
+        """
+        if not self._track_dependence:
+            raise ConfigurationError(
+                "dependence_snapshot requires OnlineDATE(track_dependence=True)"
+            )
+        if self._engine is None:
+            self._engine = IncrementalDependence(
+                self._index.arrays,
+                copy_prob_r=self._config.copy_prob_r,
+                prior_alpha=self._config.prior_alpha,
+                collision=self._collision_array(),
+                accuracy_clamp=self._config.accuracy_clamp,
+            )
+        self._engine.refresh(self._truth_codes, self._claim_acc)
+        return self._engine.posteriors()
+
     # -- internals -------------------------------------------------------
+
+    def _collision_array(self) -> np.ndarray:
+        fv = self._config.false_values
+        fv.prepare(self._index)
+        return fv.collision_array(self._index)
+
+    def _extend_truth_codes(self, ext) -> np.ndarray:
+        """Carry truth codes across an index extension.
+
+        Task positions are stable under extension, and a clean task's
+        value groups are spliced verbatim, so old codes stay valid
+        everywhere except the dirty tasks — whose codes are re-derived
+        from the (unchanged) truth strings against the re-encoded
+        groups.
+        """
+        arrays = self._index.arrays
+        codes = np.full(self._index.n_tasks, -1, dtype=np.int64)
+        codes[: len(self._truth_codes)] = self._truth_codes
+        for j in ext.dirty_tasks:
+            j = int(j)
+            codes[j] = _truth_code_of(
+                arrays, j, self._truths.get(self._index.task_ids[j])
+            )
+        return codes
 
     def _warm_snapshot(self) -> TruthDiscoveryResult:
         """Minimal warm-start carrier: current truths and reputations."""
@@ -342,6 +445,18 @@ class OnlineDATE:
                 self._claim_acc[c] = result.accuracy_matrix[
                     sub_worker_pos[worker_id], sj
                 ]
+
+
+def _truth_code_of(arrays: ClaimArrays, j: int, value: str | None) -> int:
+    """Code of ``value`` within task ``j``'s claim groups (-1 if absent)."""
+    if value is None:
+        return -1
+    g0 = int(arrays.task_group_ptr[j])
+    g1 = int(arrays.task_group_ptr[j + 1])
+    try:
+        return arrays.group_values[g0:g1].index(value)
+    except ValueError:
+        return -1
 
 
 def _subcampaign(index: DatasetIndex, dirty: list[int]) -> Dataset:
