@@ -86,12 +86,21 @@ def pytest_sessionfinish(session, exitstatus) -> None:
     newest last — so perf history accumulates across sessions instead
     of every run overwriting the one before it.
     """
+    try:
+        import numpy
+
+        numpy_version = numpy.__version__
+    except Exception:  # pragma: no cover - numpy is a hard dependency
+        numpy_version = None
     for suite, timings in _TIMINGS.items():
         run = {
             "unit": "seconds",
             "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
             "machine": platform.platform(),
+            "arch": platform.machine(),
             "python": platform.python_version(),
+            "python_implementation": platform.python_implementation(),
+            "numpy": numpy_version,
             "total_seconds": round(sum(timings.values()), 6),
             "timings": {name: round(t, 6) for name, t in sorted(timings.items())},
         }

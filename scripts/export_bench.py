@@ -50,7 +50,9 @@ def run_suite(suite: str, *, with_gates: bool) -> int:
         "-q",
     ]
     if not with_gates:
-        command += ["-k", "not speedup"]
+        # Hardware-sensitive percent-level gates: the backend speedup
+        # ratio and the telemetry overhead budgets (DESIGN.md §13).
+        command += ["-k", "not speedup and not overhead"]
     print(f"== {suite} ==", flush=True)
     return subprocess.run(command, cwd=REPO_ROOT).returncode
 
@@ -66,14 +68,26 @@ def summarize() -> None:
     if not files:
         print("no BENCH_*.json files found")
         return
-    print(f"\n{'suite':<24} {'tests':>5} {'total':>10} {'runs':>5}")
+    print(
+        f"\n{'suite':<24} {'tests':>5} {'total':>10} {'runs':>5}  environment"
+    )
     for path in files:
         payload = json.loads(path.read_text())
         runs = payload.get("runs") or [payload]
         latest = runs[-1]
+        implementation = latest.get("python_implementation", "?")
+        environment = " ".join(
+            part
+            for part in (
+                f"{implementation} {latest.get('python', '?')}",
+                latest.get("arch") or "",
+                f"numpy {latest['numpy']}" if latest.get("numpy") else "",
+            )
+            if part
+        )
         print(
             f"{payload['suite']:<24} {len(latest['timings']):>5} "
-            f"{latest['total_seconds']:>9.2f}s {len(runs):>5}"
+            f"{latest['total_seconds']:>9.2f}s {len(runs):>5}  {environment}"
         )
 
 

@@ -25,7 +25,12 @@ Subcommands:
   scenario runs the auction stage);
 - ``repro ledger list/show/gc [--store DIR]`` — inspect and maintain
   the content-addressed run ledger that ``--cache`` runs read and
-  write (see DESIGN.md §11).
+  write (see DESIGN.md §11);
+- ``repro metrics [--url URL] [--json]`` — print the process metrics
+  registry (or scrape a running service's ``/metrics``);
+- ``repro trace list/show`` — inspect recorded run traces (JSONL event
+  streams keyed by the ledger result fingerprint, DESIGN.md §13);
+  ``repro run --trace`` / ``repro ingest --trace`` record one.
 
 Caching: ``repro run``/``repro scenario run`` accept ``--cache`` /
 ``--no-cache`` and ``--store DIR`` (default ``$REPRO_STORE`` or
@@ -38,6 +43,7 @@ warm output is bit-identical to a cold run.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import dataclasses
 import json
 import sys
@@ -53,8 +59,19 @@ from .core.config import DateConfig
 from .core.date import DATE
 from .datasets.io import load_dataset, save_dataset
 from .datasets.qatar_living import generate_qatar_living_like
+from .errors import ReproError
 from .experiments.registry import get_experiment, list_experiments
 from .mechanism.imc2 import IMC2
+from .obs import (
+    default_trace_dir,
+    find_trace,
+    get_logger,
+    get_registry,
+    list_traces,
+    read_trace,
+    render_prometheus,
+    trace_run,
+)
 from .reporting.export import write_csv, write_json
 from .reporting.figures import render_chart
 from .reporting.tables import format_table, render_result_table
@@ -148,6 +165,20 @@ def _build_parser() -> argparse.ArgumentParser:
         "declaring the 'parallel' feature only; results are "
         "bit-identical to the serial run)",
     )
+    run.add_argument(
+        "--trace",
+        action="store_true",
+        help="record a structured JSONL run trace (inspect with "
+        "'repro trace show'); with --cache the trace events carry the "
+        "ledger row fingerprints",
+    )
+    run.add_argument(
+        "--trace-dir",
+        type=Path,
+        default=None,
+        help="trace output directory (default: $REPRO_TRACE_DIR or "
+        "~/.cache/repro/traces)",
+    )
     _add_cache_arguments(run)
 
     generate = sub.add_parser(
@@ -235,6 +266,18 @@ def _build_parser() -> argparse.ArgumentParser:
     ingest.add_argument("--r", type=float, default=0.4, help="assumed copy prob")
     ingest.add_argument("--alpha", type=float, default=0.2, help="dependence prior")
     ingest.add_argument("--epsilon", type=float, default=0.5, help="initial accuracy")
+    ingest.add_argument(
+        "--trace",
+        action="store_true",
+        help="record a structured JSONL trace of the replay",
+    )
+    ingest.add_argument(
+        "--trace-dir",
+        type=Path,
+        default=None,
+        help="trace output directory (default: $REPRO_TRACE_DIR or "
+        "~/.cache/repro/traces)",
+    )
 
     scenario = sub.add_parser(
         "scenario", help="adversarial scenario lab (list / run)"
@@ -319,6 +362,55 @@ def _build_parser() -> argparse.ArgumentParser:
             default=None,
             help="run-ledger directory (default: $REPRO_STORE or ~/.cache/repro)",
         )
+
+    metrics = sub.add_parser(
+        "metrics", help="print the process metrics registry"
+    )
+    metrics.add_argument(
+        "--url",
+        default=None,
+        help="scrape /metrics from a running 'repro serve' instance "
+        "instead of reading this process's registry",
+    )
+    metrics.add_argument(
+        "--json",
+        action="store_true",
+        help="print a JSON snapshot instead of Prometheus text "
+        "(local registry only)",
+    )
+
+    trace = sub.add_parser(
+        "trace", help="inspect recorded run traces (list / show)"
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    trace_list = trace_sub.add_parser(
+        "list", help="list recorded traces (newest first)"
+    )
+    trace_list.add_argument(
+        "--limit", type=int, default=40, help="show at most N traces"
+    )
+    trace_show = trace_sub.add_parser(
+        "show", help="print one trace's event stream"
+    )
+    trace_show.add_argument(
+        "fingerprint", help="trace fingerprint (any unambiguous prefix)"
+    )
+    trace_show.add_argument(
+        "--limit", type=int, default=0, help="show at most N events (0 = all)"
+    )
+    trace_show.add_argument(
+        "--json",
+        action="store_true",
+        help="print raw JSONL events instead of the table",
+    )
+    for sub_parser in (trace_list, trace_show):
+        sub_parser.add_argument(
+            "--dir",
+            type=Path,
+            default=None,
+            help="trace directory (default: $REPRO_TRACE_DIR or "
+            "~/.cache/repro/traces)",
+        )
     return parser
 
 
@@ -340,10 +432,11 @@ def _run_one(
             parallel_ids = sorted(
                 e.experiment_id for e in list_experiments() if e.supports("parallel")
             )
-            print(
-                f"note: {experiment_id} is not wired onto the parallel "
-                f"executor; --parallel ignored, running serially "
-                f"(parallel experiments: {', '.join(parallel_ids)})"
+            get_logger("repro.cli").warning(
+                "--parallel ignored: experiment is not wired onto the "
+                "parallel executor, running serially",
+                experiment=experiment_id,
+                parallel_experiments=parallel_ids,
             )
     if ledger is not None:
         if experiment.supports("ledger"):
@@ -352,9 +445,10 @@ def _run_one(
             ledger.reset_stats()
             kwargs["ledger"] = ledger
         else:
-            print(
-                f"note: {experiment_id} measures wall-clock and is never "
-                f"cached; --cache ignored"
+            get_logger("repro.cli").warning(
+                "--cache ignored: experiment measures wall-clock and is "
+                "never cached",
+                experiment=experiment_id,
             )
     result = experiment.runner(**kwargs)
     print(render_result_table(result))
@@ -528,24 +622,48 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
             reply = _http_json("POST", f"{base}/campaigns/{encoded_id}/refresh")
             return reply["truths"], reply["iterations"]
 
+    key = {
+        "command": "ingest",
+        "dataset": str(args.directory),
+        "campaign": campaign_id,
+        "batches": args.batches,
+        "remote": args.url is not None,
+    }
     rows = []
     update: dict = {}
-    for batch in batches:
-        start = time.perf_counter()
-        update = apply(batch)
-        elapsed = (time.perf_counter() - start) * 1e3
-        rows.append(
-            [
-                update["batch"],
-                update["new_tasks"],
-                update["new_claims"],
-                update["dirty_tasks"],
-                update["iterations"],
-                f"{elapsed:.1f}",
-            ]
+    with _maybe_trace(args, key) as writer:
+        for batch in batches:
+            start = time.perf_counter()
+            update = apply(batch)
+            elapsed = (time.perf_counter() - start) * 1e3
+            if writer is not None:
+                writer.emit(
+                    "ingest_batch",
+                    batch=update["batch"],
+                    new_tasks=update["new_tasks"],
+                    new_claims=update["new_claims"],
+                    dirty_tasks=update["dirty_tasks"],
+                    iterations=update["iterations"],
+                    duration_ms=round(elapsed, 3),
+                )
+            rows.append(
+                [
+                    update["batch"],
+                    update["new_tasks"],
+                    update["new_claims"],
+                    update["dirty_tasks"],
+                    update["iterations"],
+                    f"{elapsed:.1f}",
+                ]
+            )
+        print(
+            format_table(
+                ["batch", "tasks", "claims", "dirty", "iterations", "ms"], rows
+            )
         )
-    print(format_table(["batch", "tasks", "claims", "dirty", "iterations", "ms"], rows))
-    truths, refresh_iterations = finalize(bool(update.get("refreshed")))
+        truths, refresh_iterations = finalize(bool(update.get("refreshed")))
+    if writer is not None:
+        print(f"trace: {writer.path}")
     note = (
         "final batch included a full refresh"
         if refresh_iterations is None
@@ -676,6 +794,102 @@ def _cmd_ledger(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    if args.url is not None:
+        if args.json:
+            raise SystemExit(
+                "--json reads the local registry; drop it when scraping --url"
+            )
+        url = f"{args.url.rstrip('/')}/metrics"
+        try:
+            with urllib.request.urlopen(url) as response:
+                text = response.read().decode("utf-8")
+        except urllib.error.URLError as exc:
+            raise SystemExit(
+                f"GET {url} failed: {getattr(exc, 'reason', exc)} "
+                f"(is 'repro serve' running?)"
+            ) from exc
+        sys.stdout.write(text)
+        return 0
+    registry = get_registry()
+    if args.json:
+        print(json.dumps(registry.as_dict(), indent=2, sort_keys=True))
+    else:
+        sys.stdout.write(render_prometheus(registry))
+    return 0
+
+
+def _compact(value: object) -> str:
+    """One-cell rendering of a trace event field."""
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    if isinstance(value, (dict, list)):
+        return json.dumps(value, sort_keys=True)
+    return str(value)
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    if args.trace_command == "list":
+        entries = list_traces(args.dir)
+        now = time.time()
+        rows = [
+            [
+                entry.fingerprint[:16],
+                entry.events,
+                entry.size_bytes,
+                _format_age(max(now - entry.modified_at, 0.0)),
+            ]
+            for entry in entries[: args.limit]
+        ]
+        print(format_table(["trace", "events", "bytes", "age"], rows))
+        shown = min(len(entries), args.limit)
+        root = args.dir if args.dir is not None else default_trace_dir()
+        print(f"\n{shown} of {len(entries)} traces in {root}")
+        return 0
+    # show
+    try:
+        path = find_trace(args.fingerprint, args.dir)
+        events = read_trace(path)
+    except ReproError as exc:
+        raise SystemExit(str(exc)) from exc
+    total = len(events)
+    if args.limit:
+        events = events[: args.limit]
+    if args.json:
+        for event in events:
+            print(json.dumps(event, sort_keys=True))
+        return 0
+    rows = []
+    for event in events:
+        detail = ", ".join(
+            f"{name}={_compact(value)}"
+            for name, value in sorted(event.items())
+            if name not in ("event", "seq", "elapsed_s")
+        )
+        rows.append(
+            [
+                event.get("seq", ""),
+                f"{event.get('elapsed_s', 0.0):.3f}",
+                event.get("event", "?"),
+                detail if len(detail) <= 100 else detail[:97] + "...",
+            ]
+        )
+    print(format_table(["seq", "t+s", "event", "detail"], rows))
+    shown = len(events)
+    print(f"\n{shown} of {total} events in {path}")
+    return 0
+
+
+@contextlib.contextmanager
+def _maybe_trace(args: argparse.Namespace, key: dict):
+    """Open a run trace when ``--trace`` was passed; else a no-op."""
+    if not getattr(args, "trace", False):
+        yield None
+        return
+    with trace_run(key, directory=args.trace_dir) as writer:
+        yield writer
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
@@ -700,12 +914,28 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_scenario(args)
     if args.command == "ledger":
         return _cmd_ledger(args)
+    if args.command == "metrics":
+        return _cmd_metrics(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     ledger = _ledger_from(args)
-    if args.experiment == "all":
-        for experiment in list_experiments():
-            _run_one(experiment.experiment_id, args, ledger)
-        return 0
-    _run_one(args.experiment, args, ledger)
+    # The trace is keyed by the run request; instance-level events inside
+    # carry the ledger's own row fingerprints when --cache is on.
+    key = {
+        "command": "run",
+        "experiment": args.experiment,
+        "scale": args.scale,
+        "instances": args.instances,
+        "seed": args.seed,
+    }
+    with _maybe_trace(args, key) as writer:
+        if args.experiment == "all":
+            for experiment in list_experiments():
+                _run_one(experiment.experiment_id, args, ledger)
+        else:
+            _run_one(args.experiment, args, ledger)
+    if writer is not None:
+        print(f"trace: {writer.path}")
     return 0
 
 

@@ -95,6 +95,46 @@ class RunKey:
             raise ConfigurationError("RunKey.experiment_id must be non-empty")
 
 
+def row_fingerprint(key: RunKey, instance: int) -> str:
+    """The content fingerprint of one instance row of ``key``.
+
+    Module-level so non-ledger consumers (the trace writer joins trace
+    events to provenance rows by exactly these digests, DESIGN.md §13)
+    share one definition with :class:`RunLedger`.
+    """
+    return fingerprint(
+        {
+            "kind": "row",
+            "experiment_id": key.experiment_id,
+            "config": canonical(dict(key.payload)),
+            "instance": int(instance),
+        }
+    )
+
+
+def point_fingerprint(key: RunKey, x: float) -> str:
+    """The content fingerprint of one sweep point of ``key``."""
+    return fingerprint(
+        {
+            "kind": "point",
+            "experiment_id": key.experiment_id,
+            "config": canonical(dict(key.payload)),
+            "x": x,
+        }
+    )
+
+
+def result_fingerprint(key: RunKey) -> str:
+    """The content fingerprint of the finished result of ``key``."""
+    return fingerprint(
+        {
+            "kind": "result",
+            "experiment_id": key.experiment_id,
+            "config": canonical(dict(key.payload)),
+        }
+    )
+
+
 @dataclass
 class LedgerStats:
     """Per-process cache counters (reset with :meth:`RunLedger.reset_stats`)."""
@@ -144,33 +184,13 @@ class RunLedger:
     # -- fingerprints ----------------------------------------------------
 
     def row_fingerprint(self, key: RunKey, instance: int) -> str:
-        return fingerprint(
-            {
-                "kind": "row",
-                "experiment_id": key.experiment_id,
-                "config": canonical(dict(key.payload)),
-                "instance": int(instance),
-            }
-        )
+        return row_fingerprint(key, instance)
 
     def point_fingerprint(self, key: RunKey, x: float) -> str:
-        return fingerprint(
-            {
-                "kind": "point",
-                "experiment_id": key.experiment_id,
-                "config": canonical(dict(key.payload)),
-                "x": x,
-            }
-        )
+        return point_fingerprint(key, x)
 
     def result_fingerprint(self, key: RunKey) -> str:
-        return fingerprint(
-            {
-                "kind": "result",
-                "experiment_id": key.experiment_id,
-                "config": canonical(dict(key.payload)),
-            }
-        )
+        return result_fingerprint(key)
 
     def snapshot_fingerprint(self, payload: Any) -> str:
         return fingerprint({"kind": "snapshot", "config": canonical(payload)})

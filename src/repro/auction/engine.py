@@ -41,6 +41,7 @@ payment phase by benchmarks/test_auction_bench.py).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -230,17 +231,55 @@ def run_auction(
     the raw components :class:`~repro.auction.reverse_auction.
     ReverseAuction` assembles into an ``AuctionOutcome``.  Assumes the
     caller already ran ``instance.check_feasible()``.
+
+    Timings of the selection loop and each winner's payment rerun go to
+    the metrics registry when it is enabled (DESIGN.md §13); the
+    telemetry reads outputs only, so instrumented auctions remain
+    exactly equal to uninstrumented ones.
     """
+    from ..obs.metrics import get_registry
+
+    registry = get_registry()
+    telemetry = registry.enabled
+    if telemetry:
+        selection_timer = registry.timer(
+            "auction_selection_seconds",
+            "Wall time of the batched winner-selection loop.",
+        )
+        rerun_timer = registry.timer(
+            "auction_payment_rerun_seconds",
+            "Wall time of one winner's critical-payment rerun.",
+        )
+        rounds_hist = registry.histogram(
+            "auction_rounds",
+            "Selection rounds (winners) per auction.",
+            buckets=(1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0),
+        )
+        auctions_total = registry.counter(
+            "auction_runs_total", "Auctions executed."
+        )
+        monopolists_total = registry.counter(
+            "auction_monopolists_total",
+            "Winners priced as monopolists (no replacement cover).",
+        )
+        start = time.perf_counter()
     trace = batched_greedy_cover(instance)
+    if telemetry:
+        selection_timer.observe(time.perf_counter() - start)
     winners = [int(w) for w in trace.winners]
     payments: dict[str, float] = {}
     monopolists: list[str] = []
     if not winners:
+        if telemetry:
+            auctions_total.inc()
+            rounds_hist.observe(0)
         return winners, payments, monopolists
 
     prefix_best = _prefix_terms(instance, trace)
     for position, worker in enumerate(winners):
         worker_id = instance.worker_ids[worker]
+        if telemetry:
+            rerun_start = time.perf_counter()
         try:
             tail = _continuation(instance, trace, position)
         except InfeasibleCoverageError:
@@ -249,7 +288,23 @@ def run_auction(
                 instance.bids[worker]
             )
             monopolists.append(worker_id)
+            if telemetry:
+                rerun_timer.observe(time.perf_counter() - rerun_start)
+                monopolists_total.inc()
             continue
         shared = float(prefix_best[position - 1, position]) if position else 0.0
         payments[worker_id] = max(shared, tail)
+        if telemetry:
+            rerun_timer.observe(time.perf_counter() - rerun_start)
+    if telemetry:
+        auctions_total.inc()
+        rounds_hist.observe(len(winners))
+    from ..obs import trace as obs_trace
+
+    obs_trace.emit(
+        "auction_run",
+        winners=len(winners),
+        monopolists=len(monopolists),
+        total_payment=float(sum(payments.values())),
+    )
     return winners, payments, monopolists

@@ -20,6 +20,7 @@ matrix is the constant ε (Sec. III-A).
 
 from __future__ import annotations
 
+import time
 import warnings
 from dataclasses import dataclass, field
 
@@ -55,6 +56,171 @@ from .indexing import ClaimArrays, DatasetIndex
 from .support import select_truths, support_counts
 
 __all__ = ["DATE", "TruthDiscoveryResult", "discover_truth", "iterate_truths"]
+
+
+#: Histogram bounds for iterations-to-convergence (Fibonacci-ish).
+_ITERATION_BUCKETS = (1.0, 2.0, 3.0, 5.0, 8.0, 13.0, 21.0, 34.0, 55.0)
+
+#: Kernel phases of one vectorized DATE iteration, in execution order.
+_PHASES = ("dependence", "independence", "posterior", "support")
+
+
+class _RunTelemetry:
+    """Per-run convergence recorder for DATE (DESIGN.md §13).
+
+    Constructed by :func:`_run_telemetry` only when telemetry is live,
+    so the disabled hot loop pays a single ``is None`` check per phase.
+    Instruments are bound once here — never looked up inside the
+    iteration — and everything recorded is *read* from loop state after
+    the kernels have produced it: observation cannot perturb the fixed
+    point, which is what keeps instrumented runs bit-identical.
+    """
+
+    def __init__(self, registry, writer, backend: str):
+        self._writer = writer
+        self._iteration = 0
+        labels = {"backend": backend}
+        self.run_seconds = registry.timer(
+            "date_run_seconds", "Wall time of one DATE run.", labels=labels
+        )
+        self.runs_total = registry.counter(
+            "date_runs_total", "DATE runs executed.", labels=labels
+        )
+        self.converged_total = registry.counter(
+            "date_converged_runs_total",
+            "DATE runs whose truth estimate stabilized before the cap.",
+            labels=labels,
+        )
+        self.iterations_hist = registry.histogram(
+            "date_iterations",
+            "Iterations to convergence per DATE run.",
+            labels=labels,
+            buckets=_ITERATION_BUCKETS,
+        )
+        self.iteration_seconds = registry.timer(
+            "date_iteration_seconds",
+            "Wall time of one DATE fixed-point iteration.",
+            labels=labels,
+        )
+        self.phase_seconds = {
+            name: registry.timer(
+                "date_phase_seconds",
+                "Wall time per kernel phase of a DATE iteration.",
+                labels={**labels, "phase": name},
+            )
+            for name in _PHASES
+        }
+        self.flips_total = registry.counter(
+            "date_truth_flips_total",
+            "Per-task truth estimate changes across iterations.",
+            labels=labels,
+        )
+        self.delta_hist = registry.histogram(
+            "date_posterior_delta",
+            "Max |change| of per-claim accuracy per iteration.",
+            labels=labels,
+        )
+        self.dirty_rows_hist = registry.histogram(
+            "date_dirty_pair_rows",
+            "Pair rows re-scored per incremental dependence refresh.",
+            labels=labels,
+            buckets=(0.0, 10.0, 100.0, 1e3, 1e4, 1e5, 1e6, 1e7),
+        )
+        self._registry = registry
+        self._labels = labels
+
+    def iteration(
+        self,
+        *,
+        seconds: float,
+        phases: dict[str, float] | None,
+        flips: int,
+        delta: float,
+        rows_rescored: int | None,
+    ) -> None:
+        self._iteration += 1
+        self.iteration_seconds.observe(seconds)
+        if phases:
+            for name, elapsed in phases.items():
+                self.phase_seconds[name].observe(elapsed)
+        self.flips_total.inc(flips)
+        self.delta_hist.observe(delta)
+        if rows_rescored is not None:
+            self.dirty_rows_hist.observe(rows_rescored)
+        if self._writer is not None:
+            fields = {
+                "iteration": self._iteration,
+                "seconds": round(seconds, 9),
+                "flips": flips,
+                "posterior_delta": delta,
+            }
+            if phases:
+                fields["phases"] = {k: round(v, 9) for k, v in phases.items()}
+            if rows_rescored is not None:
+                fields["rows_rescored"] = rows_rescored
+            self._writer.emit("date_iteration", **fields)
+
+    def finish(
+        self,
+        *,
+        iterations: int,
+        converged: bool,
+        seconds: float,
+        engine_stats=None,
+    ) -> None:
+        self.runs_total.inc()
+        if converged:
+            self.converged_total.inc()
+        self.iterations_hist.observe(iterations)
+        self.run_seconds.observe(seconds)
+        fields = {
+            "backend": self._labels["backend"],
+            "iterations": iterations,
+            "converged": converged,
+            "seconds": round(seconds, 9),
+        }
+        if engine_stats is not None:
+            registry, labels = self._registry, self._labels
+            registry.counter(
+                "date_dependence_refreshes_total",
+                "IncrementalDependence refreshes (full + incremental).",
+                labels=labels,
+            ).inc(engine_stats.refreshes)
+            registry.counter(
+                "date_dependence_full_passes_total",
+                "IncrementalDependence refreshes that re-scored every row.",
+                labels=labels,
+            ).inc(engine_stats.full_passes)
+            registry.counter(
+                "date_dependence_rows_rescored_total",
+                "Pair rows re-scored across all dependence refreshes.",
+                labels=labels,
+            ).inc(engine_stats.rows_rescored)
+            fields["dependence"] = {
+                "refreshes": engine_stats.refreshes,
+                "full_passes": engine_stats.full_passes,
+                "rows_rescored": engine_stats.rows_rescored,
+                "rows_total": engine_stats.rows_total,
+                "rescore_fraction": round(engine_stats.rescore_fraction, 6),
+            }
+        if self._writer is not None:
+            self._writer.emit("date_run", **fields)
+
+
+def _run_telemetry(backend: str) -> _RunTelemetry | None:
+    """A bound recorder when telemetry is live, else ``None``.
+
+    Lazy imports keep the core import-light and cycle-free; the ``None``
+    return is the entire disabled-mode cost signature of the loop.
+    """
+    from ..obs import trace as obs_trace
+    from ..obs.metrics import get_registry
+
+    registry = get_registry()
+    writer = obs_trace.active()
+    if not registry.enabled and writer is None:
+        return None
+    return _RunTelemetry(registry, writer, backend)
 
 
 def iterate_truths(initial, step, *, max_iterations, state_key, label):
@@ -244,6 +410,8 @@ class DATE:
     ) -> TruthDiscoveryResult:
         """Alg. 1 over the scalar per-element kernels."""
         cfg = self.config
+        telemetry = _run_telemetry("reference")
+        run_start = time.perf_counter() if telemetry is not None else 0.0
         cfg.false_values.prepare(index)
 
         truths = index.majority_vote()
@@ -311,6 +479,12 @@ class DATE:
             state_key=tuple,
             label="DATE",
         )
+        if telemetry is not None:
+            telemetry.finish(
+                iterations=iterations,
+                converged=converged,
+                seconds=time.perf_counter() - run_start,
+            )
         return build_result(
             index,
             truths,
@@ -337,6 +511,8 @@ class DATE:
         """
         cfg = self.config
         arrays = index.arrays
+        telemetry = _run_telemetry("vectorized")
+        run_start = time.perf_counter() if telemetry is not None else 0.0
         cfg.false_values.prepare(index)
         collision = cfg.false_values.collision_array(index)
         group_q = (
@@ -384,6 +560,12 @@ class DATE:
 
         def step(truth_codes):
             nonlocal dependence, indep, group_post, group_support, claim_acc
+            # Telemetry reads loop state after each kernel; the branches
+            # below are the loop's entire disabled-mode cost.
+            if telemetry is not None:
+                iter_start = mark = time.perf_counter()
+                rows_before = engine.stats.rows_rescored if engine is not None else None
+                prev_acc = claim_acc
             if engine is not None:
                 dependence = engine.refresh(truth_codes, claim_acc)
             else:
@@ -397,7 +579,13 @@ class DATE:
                     accuracy_clamp=cfg.accuracy_clamp,
                     intra_workers=cfg.intra_workers,
                 )
+            if telemetry is not None:
+                now = time.perf_counter()
+                t_dependence, mark = now - mark, now
             indep = self._independence_flat(index, arrays, dependence)
+            if telemetry is not None:
+                now = time.perf_counter()
+                t_independence, mark = now - mark, now
             if cfg.discounted_posterior:
                 group_post = discounted_posterior_groups(
                     arrays,
@@ -418,6 +606,9 @@ class DATE:
             claim_acc = accuracy_flat(
                 arrays, group_post, granularity=cfg.granularity
             )
+            if telemetry is not None:
+                now = time.perf_counter()
+                t_posterior, mark = now - mark, now
             group_support = support_flat(
                 arrays,
                 claim_acc,
@@ -425,7 +616,28 @@ class DATE:
                 similarity=cfg.similarity,
                 similarity_weight=cfg.similarity_weight,
             )
-            return select_truth_codes(arrays, group_support)
+            new_codes = select_truth_codes(arrays, group_support)
+            if telemetry is not None:
+                now = time.perf_counter()
+                telemetry.iteration(
+                    seconds=now - iter_start,
+                    phases={
+                        "dependence": t_dependence,
+                        "independence": t_independence,
+                        "posterior": t_posterior,
+                        "support": now - mark,
+                    },
+                    flips=int(np.count_nonzero(new_codes != truth_codes)),
+                    delta=float(np.max(np.abs(claim_acc - prev_acc)))
+                    if len(claim_acc)
+                    else 0.0,
+                    rows_rescored=(
+                        engine.stats.rows_rescored - rows_before
+                        if rows_before is not None
+                        else None
+                    ),
+                )
+            return new_codes
 
         truth_codes, iterations, converged = iterate_truths(
             truth_codes,
@@ -434,6 +646,13 @@ class DATE:
             state_key=lambda codes: codes.tobytes(),
             label="DATE",
         )
+        if telemetry is not None:
+            telemetry.finish(
+                iterations=iterations,
+                converged=converged,
+                seconds=time.perf_counter() - run_start,
+                engine_stats=engine.stats if engine is not None else None,
+            )
         truths = arrays.truth_values(truth_codes)
         if lean:
             # Only the selected value's posterior survives, gathered

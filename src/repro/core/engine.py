@@ -36,6 +36,7 @@ __all__ = [
     "DependenceArrays",
     "DirectedDependenceLookup",
     "IncrementalDependence",
+    "IncrementalStats",
     "KernelScratch",
     "pairwise_dependence_arrays",
     "independence_flat",
@@ -65,6 +66,27 @@ def _safe_log(x: np.ndarray) -> np.ndarray:
     return np.log(np.maximum(x, _MIN_PROB))
 
 
+def _note_scratch_growth(nbytes: int) -> None:
+    """Record one scratch slab (re)allocation when telemetry is on.
+
+    Growth is rare by design (slabs persist across iterations), so this
+    sits outside the hot path; the lazy import keeps the kernel module
+    import-light.
+    """
+    from ..obs.metrics import get_registry
+
+    registry = get_registry()
+    if registry.enabled:
+        registry.counter(
+            "date_scratch_growth_total",
+            "KernelScratch slab allocations (growth or dtype change).",
+        ).inc()
+        registry.counter(
+            "date_scratch_bytes_total",
+            "Total bytes allocated into KernelScratch slabs.",
+        ).inc(nbytes)
+
+
 class KernelScratch:
     """Named, growable scratch slabs for the hot kernels' temporaries.
 
@@ -92,6 +114,7 @@ class KernelScratch:
         if slab is None or slab.dtype != np.dtype(dtype) or slab.size < size:
             slab = np.empty(max(size, 1), dtype=dtype)
             self._slabs[name] = slab
+            _note_scratch_growth(slab.nbytes)
         return slab[:size].reshape(shape)
 
 
@@ -478,6 +501,32 @@ def pairwise_dependence_arrays(
     return DependenceArrays(p_ab=p_ab, p_ba=p_ba)
 
 
+@dataclass
+class IncrementalStats:
+    """Cheap always-on counters of one :class:`IncrementalDependence`.
+
+    Plain ints updated unconditionally (a few adds per refresh — far
+    below measurement noise), so ``repro metrics`` and the engine's
+    convergence telemetry can report refresh hit rates without the
+    registry being enabled during the run.
+    """
+
+    refreshes: int = 0
+    full_passes: int = 0
+    rows_rescored: int = 0
+    rows_total: int = 0
+
+    @property
+    def incremental_refreshes(self) -> int:
+        return self.refreshes - self.full_passes
+
+    @property
+    def rescore_fraction(self) -> float:
+        """Mean fraction of pair rows re-scored per refresh (1.0 = full)."""
+        denominator = self.refreshes * self.rows_total
+        return self.rows_rescored / denominator if denominator else 0.0
+
+
 class IncrementalDependence:
     """Updatable per-pair dependence aggregates (ROADMAP item 4).
 
@@ -529,6 +578,7 @@ class IncrementalDependence:
         self._scratch = KernelScratch()
         self._truth_codes: np.ndarray | None = None
         self._claim_acc: np.ndarray | None = None
+        self.stats = IncrementalStats()
         self._bind(arrays, collision)
 
     def _bind(self, arrays: ClaimArrays, collision: np.ndarray) -> None:
@@ -544,6 +594,7 @@ class IncrementalDependence:
         self._sum_ba = np.empty(n_pairs)
         self._p_ab = np.empty(n_pairs)
         self._p_ba = np.empty(n_pairs)
+        self.stats.rows_total = n_rows
 
     @property
     def arrays(self) -> ClaimArrays:
@@ -570,6 +621,7 @@ class IncrementalDependence:
         """
         truth_codes = np.asarray(truth_codes, dtype=np.int64)
         claim_acc = np.asarray(claim_acc, dtype=np.float64)
+        self.stats.refreshes += 1
         if self._truth_codes is None:
             self._refresh_full(truth_codes, claim_acc)
         else:
@@ -671,6 +723,8 @@ class IncrementalDependence:
         touched[:old_n_tasks] |= collision[:old_n_tasks] != self._collision
         self._arrays = arrays
         self._collision = collision.copy()
+        self.stats.rows_total = n_rows
+        self.stats.refreshes += 1
         self._refresh_tasks(np.flatnonzero(touched), truth_codes, claim_acc)
         self._truth_codes = truth_codes.copy()
         self._claim_acc = claim_acc.copy()
@@ -689,6 +743,8 @@ class IncrementalDependence:
 
     def _refresh_full(self, truth_codes: np.ndarray, claim_acc: np.ndarray) -> None:
         arrays = self._arrays
+        self.stats.full_passes += 1
+        self.stats.rows_rescored += len(arrays.ps_pair)
         _score_pair_rows(
             arrays,
             truth_codes,
@@ -736,6 +792,7 @@ class IncrementalDependence:
         if len(rows) == 0:
             return
         n = len(rows)
+        self.stats.rows_rescored += n
         out_ind = scratch.array("inc_ind", n)
         out_ab = scratch.array("inc_ab", n)
         out_ba = scratch.array("inc_ba", n)

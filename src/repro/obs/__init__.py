@@ -1,0 +1,78 @@
+"""Observability: metrics, run tracing, structured logging (DESIGN.md §13).
+
+The obs layer makes the system legible without making it different:
+
+- :mod:`~repro.obs.metrics` — process-wide registry of counters,
+  gauges, histograms and timers, disabled by default and ~free when
+  off (call sites bind instruments once per operation; the disabled
+  registry hands back a shared no-op stub);
+- :mod:`~repro.obs.exposition` — Prometheus text rendering of the
+  registry, served at the streaming service's ``/metrics``;
+- :mod:`~repro.obs.trace` — JSONL run traces named by the ledger
+  result fingerprint, so every trace joins its provenance rows;
+- :mod:`~repro.obs.logging` — JSON-lines structured logging.
+
+Invariant pinned by the property suite: instrumentation only observes,
+never feeds back — instrumented runs are bit-identical to
+uninstrumented ones.
+"""
+
+from .exposition import CONTENT_TYPE, render_prometheus
+from .logging import JsonLinesLogger, get_logger
+from .metrics import (
+    DEFAULT_TIME_BUCKETS,
+    DEFAULT_VALUE_BUCKETS,
+    NULL,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Timer,
+    enabled,
+    get_registry,
+    set_registry,
+)
+from .trace import (
+    TRACE_DIR_ENV,
+    TraceEntry,
+    TraceWriter,
+    active,
+    default_trace_dir,
+    emit,
+    find_trace,
+    list_traces,
+    read_trace,
+    run_fingerprint,
+    span,
+    trace_run,
+)
+
+__all__ = [
+    "CONTENT_TYPE",
+    "DEFAULT_TIME_BUCKETS",
+    "DEFAULT_VALUE_BUCKETS",
+    "NULL",
+    "TRACE_DIR_ENV",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "JsonLinesLogger",
+    "MetricsRegistry",
+    "Timer",
+    "TraceEntry",
+    "TraceWriter",
+    "active",
+    "default_trace_dir",
+    "emit",
+    "enabled",
+    "find_trace",
+    "get_logger",
+    "get_registry",
+    "list_traces",
+    "read_trace",
+    "render_prometheus",
+    "run_fingerprint",
+    "set_registry",
+    "span",
+    "trace_run",
+]

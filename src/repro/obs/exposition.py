@@ -1,0 +1,94 @@
+"""Prometheus text exposition (format version 0.0.4) of a registry.
+
+:func:`render_prometheus` serializes a
+:class:`~repro.obs.metrics.MetricsRegistry` snapshot into the plain
+text format Prometheus scrapes — the body the streaming service's
+``/metrics`` route returns and ``repro metrics`` prints.
+
+Rules implemented (pinned by ``tests/unit/test_obs_metrics.py``):
+
+- ``# HELP`` escapes backslash and newline; label values additionally
+  escape double quotes;
+- label sets render in sorted label-name order, so output is
+  deterministic;
+- histograms expose *cumulative* ``_bucket`` series with ``le`` upper
+  bounds, a ``+Inf`` bucket equal to ``_count``, plus ``_sum`` and
+  ``_count``;
+- values render integers without a decimal point and floats via
+  ``repr`` (shortest round-trip form).
+"""
+
+from __future__ import annotations
+
+import math
+
+from .metrics import Histogram, MetricsRegistry
+
+__all__ = ["CONTENT_TYPE", "render_prometheus"]
+
+#: The scrape Content-Type for this format.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label_value(text: str) -> str:
+    return (
+        text.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _format_value(value: float) -> str:
+    value = float(value)
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    if value.is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _labels_text(labels: dict[str, str], extra: tuple[tuple[str, str], ...] = ()) -> str:
+    pairs = [(k, labels[k]) for k in sorted(labels)] + list(extra)
+    if not pairs:
+        return ""
+    body = ",".join(
+        f'{name}="{_escape_label_value(str(value))}"' for name, value in pairs
+    )
+    return "{" + body + "}"
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """The registry's current state as Prometheus exposition text."""
+    lines: list[str] = []
+    for family in registry.collect():
+        if family.help:
+            lines.append(f"# HELP {family.name} {_escape_help(family.help)}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        for key in sorted(family.series):
+            instrument = family.series[key]
+            if isinstance(instrument, Histogram):
+                counts, total, count = instrument.snapshot()
+                cumulative = 0
+                for bound, bucket_count in zip(instrument.bounds, counts):
+                    cumulative += bucket_count
+                    labels = _labels_text(
+                        instrument.labels, (("le", _format_value(bound)),)
+                    )
+                    lines.append(
+                        f"{family.name}_bucket{labels} {cumulative}"
+                    )
+                labels = _labels_text(instrument.labels, (("le", "+Inf"),))
+                lines.append(f"{family.name}_bucket{labels} {count}")
+                plain = _labels_text(instrument.labels)
+                lines.append(f"{family.name}_sum{plain} {_format_value(total)}")
+                lines.append(f"{family.name}_count{plain} {count}")
+            else:
+                labels = _labels_text(instrument.labels)
+                lines.append(
+                    f"{family.name}{labels} {_format_value(instrument.value)}"
+                )
+    return "\n".join(lines) + ("\n" if lines else "")

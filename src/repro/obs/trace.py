@@ -1,0 +1,278 @@
+"""Structured run tracing: JSONL event streams joinable to the ledger.
+
+A *trace* is the narrative of one run — ``run_start``, nested spans,
+engine iteration events, per-instance rows, ``run_end`` — written as
+JSON lines to ``<trace dir>/<fingerprint>.jsonl``.  The fingerprint is
+the crux (DESIGN.md §13): when the traced key is a
+:class:`~repro.artifacts.ledger.RunKey`, the trace file is named by the
+ledger's *result* digest and per-instance events carry the exact
+``row_fingerprint`` digests, so every trace joins its provenance rows
+with no side table.
+
+Like the metrics registry, tracing is opt-in and observation-only: no
+active trace means :func:`emit` and :func:`span` are no-ops (one
+contextvar read), and nothing a trace records ever feeds back into the
+computation — instrumented runs stay bit-identical to uninstrumented
+ones.
+
+The trace directory defaults to ``~/.cache/repro/traces`` and is
+overridden by ``$REPRO_TRACE_DIR`` (how CI smoke jobs capture a sample
+trace as an artifact).  ``repro trace list`` / ``repro trace show``
+are the reading side.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import json
+import os
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterator
+
+from ..errors import ConfigurationError
+
+__all__ = [
+    "TRACE_DIR_ENV",
+    "TraceEntry",
+    "TraceWriter",
+    "active",
+    "default_trace_dir",
+    "emit",
+    "find_trace",
+    "list_traces",
+    "read_trace",
+    "run_fingerprint",
+    "span",
+    "trace_run",
+]
+
+#: Environment override for where trace files land.
+TRACE_DIR_ENV = "REPRO_TRACE_DIR"
+
+
+def default_trace_dir() -> Path:
+    """``$REPRO_TRACE_DIR`` when set, else ``~/.cache/repro/traces``."""
+    env = os.environ.get(TRACE_DIR_ENV)
+    if env:
+        return Path(env).expanduser()
+    return Path.home() / ".cache" / "repro" / "traces"
+
+
+def _coerce(value: Any) -> Any:
+    """JSON-safe view of an event field via the fingerprint canonicalizer.
+
+    Lazy import: ``repro.artifacts`` pulls in the engine stack, which
+    imports :mod:`repro.obs.metrics` — a module-level import here would
+    cycle.
+    """
+    from ..artifacts.fingerprint import FingerprintError, canonical
+
+    try:
+        return canonical(value)
+    except FingerprintError:
+        return repr(value)
+
+
+def run_fingerprint(key: Any) -> str:
+    """The digest that names ``key``'s trace file.
+
+    A :class:`~repro.artifacts.ledger.RunKey` maps to exactly its
+    ledger *result* fingerprint — the trace↔provenance join.  Anything
+    else (a label string, a config dict) is canonicalized under a
+    ``trace`` kind of its own, so ad-hoc runs still get stable names.
+    """
+    from ..artifacts.fingerprint import canonical, fingerprint
+    from ..artifacts.ledger import RunKey, result_fingerprint
+
+    if isinstance(key, RunKey):
+        return result_fingerprint(key)
+    return fingerprint({"kind": "trace", "key": canonical(key)})
+
+
+class TraceWriter:
+    """Thread-safe JSON-lines event sink for one run.
+
+    Events are appended under a lock with a monotonically increasing
+    ``seq`` and ``elapsed_s`` since the writer was opened, so
+    interleaved emitters (executor threads, request handlers) produce a
+    totally ordered file.
+    """
+
+    def __init__(self, path: str | Path, *, run: str = ""):
+        self.path = Path(path)
+        self.run = run
+        self._lock = threading.Lock()
+        self._seq = 0
+        self._start = time.perf_counter()
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.path.write_text("", encoding="utf-8")  # one file per run
+
+    def emit(self, event: str, **fields: Any) -> None:
+        payload: dict[str, Any] = {"event": event}
+        for name, value in fields.items():
+            payload[name] = _coerce(value)
+        with self._lock:
+            payload["seq"] = self._seq
+            payload["elapsed_s"] = round(time.perf_counter() - self._start, 9)
+            self._seq += 1
+            line = json.dumps(payload, sort_keys=True)
+            with self.path.open("a", encoding="utf-8") as handle:
+                handle.write(line + "\n")
+
+
+#: The trace active in this context (None = tracing off; emit/span no-op).
+_ACTIVE: contextvars.ContextVar[TraceWriter | None] = contextvars.ContextVar(
+    "repro_trace", default=None
+)
+
+
+def active() -> TraceWriter | None:
+    """The trace writer bound to the current context, if any."""
+    return _ACTIVE.get()
+
+
+def emit(event: str, **fields: Any) -> None:
+    """Record one event on the active trace; no-op when tracing is off."""
+    writer = _ACTIVE.get()
+    if writer is not None:
+        writer.emit(event, **fields)
+
+
+@contextmanager
+def span(name: str, **fields: Any) -> Iterator[TraceWriter | None]:
+    """A timed section: ``span_start`` / ``span_end`` around the body.
+
+    Without an active trace the body runs untouched (and receives
+    ``None``), so call sites never branch on whether tracing is on.
+    """
+    writer = _ACTIVE.get()
+    if writer is None:
+        yield None
+        return
+    start = time.perf_counter()
+    writer.emit("span_start", span=name, **fields)
+    ok = True
+    try:
+        yield writer
+    except BaseException:
+        ok = False
+        raise
+    finally:
+        writer.emit(
+            "span_end",
+            span=name,
+            ok=ok,
+            duration_s=round(time.perf_counter() - start, 9),
+        )
+
+
+@contextmanager
+def trace_run(
+    key: Any,
+    directory: str | Path | None = None,
+    meta: dict[str, Any] | None = None,
+) -> Iterator[TraceWriter]:
+    """Open a trace for ``key`` and bind it as the active trace.
+
+    The file is ``<directory>/<run_fingerprint(key)>.jsonl``; the body
+    is bracketed by ``run_start`` / ``run_end`` events, the latter
+    carrying ``ok=False`` when the body raised (the exception still
+    propagates).
+    """
+    digest = run_fingerprint(key)
+    root = Path(directory) if directory is not None else default_trace_dir()
+    writer = TraceWriter(root / f"{digest}.jsonl", run=digest)
+    writer.emit("run_start", run=digest, meta=dict(meta or {}))
+    token = _ACTIVE.set(writer)
+    ok = True
+    try:
+        yield writer
+    except BaseException:
+        ok = False
+        raise
+    finally:
+        _ACTIVE.reset(token)
+        writer.emit("run_end", run=digest, ok=ok)
+
+
+# -- reading ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """Metadata of one stored trace (for ``repro trace list``)."""
+
+    fingerprint: str
+    path: Path
+    events: int
+    size_bytes: int
+    modified_at: float
+
+
+def read_trace(path: str | Path) -> list[dict[str, Any]]:
+    """Every event of one trace file, in ``seq`` order."""
+    events: list[dict[str, Any]] = []
+    with Path(path).open(encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ConfigurationError(
+                    f"corrupt trace line in {path}: {line[:80]!r}"
+                ) from exc
+            events.append(payload)
+    events.sort(key=lambda event: event.get("seq", 0))
+    return events
+
+
+def list_traces(directory: str | Path | None = None) -> list[TraceEntry]:
+    """Stored traces, newest first."""
+    root = Path(directory) if directory is not None else default_trace_dir()
+    if not root.is_dir():
+        return []
+    entries = []
+    for path in root.glob("*.jsonl"):
+        try:
+            stat = path.stat()
+            with path.open(encoding="utf-8") as handle:
+                events = sum(1 for line in handle if line.strip())
+        except OSError:
+            continue
+        entries.append(
+            TraceEntry(
+                fingerprint=path.stem,
+                path=path,
+                events=events,
+                size_bytes=stat.st_size,
+                modified_at=stat.st_mtime,
+            )
+        )
+    entries.sort(key=lambda entry: entry.modified_at, reverse=True)
+    return entries
+
+
+def find_trace(prefix: str, directory: str | Path | None = None) -> Path:
+    """The unique stored trace whose fingerprint starts with ``prefix``."""
+    prefix = prefix.strip()
+    if not prefix:
+        raise ConfigurationError("empty trace fingerprint prefix")
+    root = Path(directory) if directory is not None else default_trace_dir()
+    matches = sorted(root.glob(f"{prefix}*.jsonl")) if root.is_dir() else []
+    if not matches:
+        raise ConfigurationError(
+            f"no trace matches {prefix!r} under {root}"
+        )
+    if len(matches) > 1:
+        shown = ", ".join(p.stem[:12] for p in matches[:5])
+        raise ConfigurationError(
+            f"trace prefix {prefix!r} is ambiguous ({len(matches)} matches: "
+            f"{shown}...)"
+        )
+    return matches[0]

@@ -28,12 +28,14 @@ import atexit
 import multiprocessing
 import os
 import threading
+import time
 from collections.abc import Callable, Sequence
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import Any, TypeVar
 
 from ..errors import ConfigurationError
+from ..obs.metrics import get_registry
 
 __all__ = [
     "available_cpus",
@@ -109,6 +111,49 @@ def shutdown_pools() -> None:
 atexit.register(shutdown_pools)
 
 
+class _TimedTask:
+    """Picklable wrapper returning ``(fn(item), seconds)`` per item.
+
+    Spawn pools require module-level picklables, so the per-instance
+    wall clock is measured inside the worker by this class rather than
+    a closure.  Used only while the metrics registry is enabled; the
+    wrapped call itself is unchanged, so results stay bit-identical.
+    """
+
+    def __init__(self, fn: Callable[[T], R]):
+        self.fn = fn
+
+    def __call__(self, item: T) -> tuple[R, float]:
+        start = time.perf_counter()
+        result = self.fn(item)
+        return result, time.perf_counter() - start
+
+
+def _record_map(registry, *, mode: str, items: int, workers: int,
+                busy: float, wall: float) -> None:
+    """Registry bookkeeping for one fan-out (registry already enabled)."""
+    registry.counter(
+        "executor_items_total",
+        "Work items executed through the parallel primitives.",
+        labels={"mode": mode},
+    ).inc(items)
+    registry.timer(
+        "executor_map_seconds",
+        "Wall time of one parallel_map fan-out.",
+        labels={"mode": mode},
+    ).observe(wall)
+    registry.gauge(
+        "executor_pool_workers",
+        "Worker count of the most recent pooled fan-out.",
+    ).set(workers)
+    if wall > 0.0 and workers > 0:
+        registry.gauge(
+            "executor_pool_utilization",
+            "Busy fraction (sum of instance seconds / workers * wall) "
+            "of the most recent fan-out.",
+        ).set(min(busy / (wall * workers), 1.0))
+
+
 def parallel_map(
     fn: Callable[[T], R],
     items: Sequence[T],
@@ -126,8 +171,50 @@ def parallel_map(
     """
     workers = resolve_parallel(parallel)
     items = list(items)
+    registry = get_registry()
     if workers == 1 or len(items) <= 1:
+        if registry.enabled and items:
+            instance_timer = registry.timer(
+                "executor_instance_seconds",
+                "Wall time of one work item inside the executor.",
+            )
+            start = time.perf_counter()
+            results = []
+            for item in items:
+                item_start = time.perf_counter()
+                results.append(fn(item))
+                instance_timer.observe(time.perf_counter() - item_start)
+            wall = time.perf_counter() - start
+            _record_map(
+                registry, mode="serial", items=len(items), workers=1,
+                busy=wall, wall=wall,
+            )
+            return results
         return [fn(item) for item in items]
+    if registry.enabled:
+        instance_timer = registry.timer(
+            "executor_instance_seconds",
+            "Wall time of one work item inside the executor.",
+        )
+        start = time.perf_counter()
+        pairs = _pool_map(_TimedTask(fn), items, workers, chunksize)
+        wall = time.perf_counter() - start
+        busy = 0.0
+        results = []
+        for result, seconds in pairs:
+            instance_timer.observe(seconds)
+            busy += seconds
+            results.append(result)
+        _record_map(
+            registry, mode="pooled", items=len(items), workers=workers,
+            busy=busy, wall=wall,
+        )
+        return results
+    return _pool_map(fn, items, workers, chunksize)
+
+
+def _pool_map(fn, items, workers: int, chunksize: int) -> list:
+    """Pooled body of :func:`parallel_map`, with the broken-pool retry."""
     pool = _pool(workers)
     try:
         return list(pool.map(fn, items, chunksize=chunksize))
@@ -136,6 +223,10 @@ def parallel_map(
         # executor.  Evict the poisoned pool and retry once on a fresh
         # one — work items are pure functions of their arguments, so a
         # re-run is safe; a second break propagates.
+        get_registry().counter(
+            "executor_pool_retries_total",
+            "Broken-pool evictions followed by a fresh-pool retry.",
+        ).inc()
         _evict_pool(workers, pool)
         pool = _pool(workers)
         try:
@@ -178,6 +269,31 @@ def _imap_pooled(fn, items, workers: int, chunksize: int):
     must get a fresh pool instead of the poisoned one forever.
     """
     pool = _pool(workers)
+    registry = get_registry()
+    if registry.enabled:
+        instance_timer = registry.timer(
+            "executor_instance_seconds",
+            "Wall time of one work item inside the executor.",
+        )
+        registry.gauge(
+            "executor_pool_workers",
+            "Worker count of the most recent pooled fan-out.",
+        ).set(workers)
+        registry.counter(
+            "executor_items_total",
+            "Work items executed through the parallel primitives.",
+            labels={"mode": "streamed"},
+        ).inc(len(items))
+        try:
+            for result, seconds in pool.map(
+                _TimedTask(fn), items, chunksize=chunksize
+            ):
+                instance_timer.observe(seconds)
+                yield result
+        except BrokenProcessPool:
+            _evict_pool(workers, pool)
+            raise
+        return
     try:
         yield from pool.map(fn, items, chunksize=chunksize)
     except BrokenProcessPool:

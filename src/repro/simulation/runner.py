@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from ..errors import ConfigurationError, MetricMismatchError
+from ..obs import trace as obs_trace
 from .executor import parallel_imap, parallel_map
 from .stats import SummaryStats, summarize
 
@@ -132,27 +133,52 @@ def run_instances(
             "run_instances got a ledger but no key declaring the work"
         )
     if ledger is None or key is None:
-        rows = [
-            _checked(raw, k)
-            for k, raw in enumerate(
-                parallel_map(metric_fn, range(instances), parallel=parallel)
-            )
-        ]
+        with obs_trace.span("run_instances", instances=instances):
+            rows = [
+                _checked(raw, k)
+                for k, raw in enumerate(
+                    parallel_map(metric_fn, range(instances), parallel=parallel)
+                )
+            ]
         return InstanceTable(rows=tuple(rows))
 
     banked: list[dict[str, float] | None] = [
         ledger.get_row(key, k) for k in range(instances)
     ]
     missing = [k for k, row in enumerate(banked) if row is None]
+    writer = obs_trace.active()
+    if writer is not None:
+        # Each instance event carries the ledger's own row digest — the
+        # trace↔provenance join (DESIGN.md §13).
+        from ..artifacts.ledger import row_fingerprint
+
+        for k, row in enumerate(banked):
+            if row is not None:
+                writer.emit(
+                    "instance_row",
+                    instance=k,
+                    fingerprint=row_fingerprint(key, k),
+                    cached=True,
+                )
     # Stream results back and bank each row the moment it exists: an
     # interrupted run keeps its finished prefix, and the next run
     # resumes at the first row it never banked.
-    for k, raw in zip(
-        missing, parallel_imap(metric_fn, missing, parallel=parallel)
+    with obs_trace.span(
+        "run_instances", instances=instances, cached=instances - len(missing)
     ):
-        row = _checked(raw, k)
-        ledger.put_row(key, k, row)
-        banked[k] = row
+        for k, raw in zip(
+            missing, parallel_imap(metric_fn, missing, parallel=parallel)
+        ):
+            row = _checked(raw, k)
+            ledger.put_row(key, k, row)
+            banked[k] = row
+            if writer is not None:
+                writer.emit(
+                    "instance_row",
+                    instance=k,
+                    fingerprint=row_fingerprint(key, k),
+                    cached=False,
+                )
     return InstanceTable(
         rows=tuple(_checked(row, k) for k, row in enumerate(banked))
     )

@@ -25,6 +25,7 @@ from ..core.config import DateConfig
 from ..core.date import TruthDiscoveryResult
 from ..errors import ConfigurationError, ReproError
 from ..mechanism.imc2 import IMC2, IMC2Outcome
+from ..obs.metrics import get_registry
 from ..types import Task, WorkerProfile
 from .ingest import ClaimBatch
 from .online import OnlineDATE, OnlineUpdate
@@ -195,12 +196,27 @@ class CampaignStore:
             if campaign_id in self._campaigns:
                 raise DuplicateCampaignError(campaign_id)
             self._campaigns[campaign_id] = campaign
+            evicted = 0
             while (
                 self.max_campaigns is not None
                 and len(self._campaigns) > self.max_campaigns
             ):
                 self._campaigns.popitem(last=False)
-            return campaign
+                evicted += 1
+            live = len(self._campaigns)
+        registry = get_registry()
+        registry.counter(
+            "streaming_campaigns_created_total", "Campaigns created."
+        ).inc()
+        if evicted:
+            registry.counter(
+                "streaming_campaigns_evicted_total",
+                "Campaigns dropped (LRU capacity or explicit delete).",
+            ).inc(evicted)
+        registry.gauge(
+            "streaming_campaigns_live", "Campaigns currently in the store."
+        ).set(live)
+        return campaign
 
     def get(self, campaign_id: str) -> Campaign:
         with self._lock:
@@ -209,11 +225,30 @@ class CampaignStore:
     def ingest(self, campaign_id: str, batch: ClaimBatch) -> OnlineUpdate:
         """Apply a claim batch to one campaign."""
         campaign = self.get(campaign_id)
+        registry = get_registry()
         with campaign.lock:
+            start = time.perf_counter()
             update = campaign.online.ingest(batch)
+            elapsed = time.perf_counter() - start
             campaign.claims_ingested += batch.n_claims
             campaign.last_update = time.time()
-            return update
+        labels = {"campaign": campaign_id}
+        registry.counter(
+            "streaming_ingest_batches_total",
+            "Claim batches ingested per campaign.",
+            labels=labels,
+        ).inc()
+        registry.counter(
+            "streaming_claims_ingested_total",
+            "Claims ingested per campaign.",
+            labels=labels,
+        ).inc(batch.n_claims)
+        registry.timer(
+            "streaming_ingest_seconds",
+            "Wall time of one claim-batch ingest (estimator update included).",
+            labels=labels,
+        ).observe(elapsed)
+        return update
 
     def _refresh(self, campaign: Campaign) -> TruthDiscoveryResult:
         """Full refresh through the ledger (campaign lock must be held).
@@ -224,14 +259,33 @@ class CampaignStore:
         banks the result.  Without a ledger this is a plain refresh.
         """
         online = campaign.online
+        registry = get_registry()
+        start = time.perf_counter()
         if self.ledger is None:
-            return online.refresh()
-        snapshot_key = _campaign_content_key(online)
-        payload = self.ledger.get_snapshot(snapshot_key)
-        if payload is not None:
-            return online.adopt_refresh(truth_result_from_payload(payload))
-        result = online.refresh()
-        self.ledger.put_snapshot(snapshot_key, truth_result_to_payload(result))
+            result = online.refresh()
+            source = "computed"
+        else:
+            snapshot_key = _campaign_content_key(online)
+            payload = self.ledger.get_snapshot(snapshot_key)
+            if payload is not None:
+                result = online.adopt_refresh(truth_result_from_payload(payload))
+                source = "ledger"
+            else:
+                result = online.refresh()
+                self.ledger.put_snapshot(
+                    snapshot_key, truth_result_to_payload(result)
+                )
+                source = "computed"
+        registry.counter(
+            "streaming_refreshes_total",
+            "Full re-estimations per campaign, by how they were served.",
+            labels={"campaign": campaign.campaign_id, "source": source},
+        ).inc()
+        registry.timer(
+            "streaming_refresh_seconds",
+            "Wall time of one full refresh (ledger lookups included).",
+            labels={"campaign": campaign.campaign_id},
+        ).observe(time.perf_counter() - start)
         return result
 
     def estimate(
@@ -303,6 +357,15 @@ class CampaignStore:
         with self._lock:
             if self._campaigns.pop(campaign_id, None) is None:
                 raise UnknownCampaignError(campaign_id)
+            live = len(self._campaigns)
+        registry = get_registry()
+        registry.counter(
+            "streaming_campaigns_evicted_total",
+            "Campaigns dropped (LRU capacity or explicit delete).",
+        ).inc()
+        registry.gauge(
+            "streaming_campaigns_live", "Campaigns currently in the store."
+        ).set(live)
 
     def list_campaigns(self) -> list[dict]:
         """Summaries of all live campaigns, least recently used first."""

@@ -6,9 +6,12 @@ a ``ThreadingHTTPServer``.  Keeping the dispatcher free of socket code
 means the whole API surface is unit-testable as plain function calls,
 and the handler class only parses/serializes JSON.
 
-Routes (all bodies JSON):
+Routes (all bodies JSON unless noted):
 
 - ``GET  /health`` — liveness + campaign count;
+- ``GET  /healthz`` — liveness + uptime (Kubernetes-style probe);
+- ``GET  /metrics`` — Prometheus text exposition of the process
+  metrics registry (plain text, not JSON);
 - ``GET  /campaigns`` — list campaign summaries;
 - ``POST /campaigns`` — create: ``{"campaign_id": ..., "tasks": [...],
   "workers": [...], "config": {...}, "refresh_every": N}``;
@@ -31,6 +34,7 @@ are 400, unknown campaigns/routes 404, duplicate campaigns 409.
 from __future__ import annotations
 
 import json
+import time
 from dataclasses import asdict
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import unquote
@@ -38,6 +42,9 @@ from urllib.parse import unquote
 from ..auction.config import AuctionConfig
 from ..core.config import DateConfig
 from ..errors import ReproError
+from ..obs.exposition import CONTENT_TYPE, render_prometheus
+from ..obs.logging import get_logger
+from ..obs.metrics import get_registry
 from .campaign import CampaignStore, DuplicateCampaignError, UnknownCampaignError
 from .ingest import batch_from_json, coerce_number, task_from_spec, worker_from_spec
 
@@ -71,33 +78,73 @@ def config_from_spec(spec: dict | None, base: DateConfig) -> DateConfig:
         raise ReproError(f"invalid config: {exc}") from exc
 
 
+def _route_template(parts: list[str]) -> str:
+    """Low-cardinality route label: campaign ids collapse to ``{id}``."""
+    if len(parts) >= 2 and parts[0] == "campaigns":
+        return "/".join(["/campaigns/{id}"] + parts[2:])
+    return "/" + "/".join(parts)
+
+
 class StreamingApp:
     """Transport-free dispatcher: ``(method, path, payload) -> (status, body)``."""
 
     def __init__(self, store: CampaignStore | None = None):
         self.store = store or CampaignStore()
+        self.started_at = time.time()
 
     def handle(self, method: str, path: str, payload: dict | None = None):
-        """Dispatch one request; returns ``(status_code, json_body)``.
+        """Dispatch one request; returns ``(status_code, body)``.
 
         The path is split on ``/`` with the query string dropped and
         each segment percent-decoded, so campaign ids round-trip
-        through clients that quote them.
+        through clients that quote them.  The body is a JSON-safe dict
+        for every route except ``/metrics``, whose body is the
+        exposition text (``str``).  Request latency and counts land in
+        the registry per (method, route template, status).
         """
         path = path.partition("?")[0]
         parts = [unquote(part) for part in path.split("/") if part]
+        registry = get_registry()
+        start = time.perf_counter() if registry.enabled else 0.0
         if payload is not None and not isinstance(payload, dict):
-            return 400, {"error": "request body must be a JSON object"}
-        try:
-            return self._route(method.upper(), parts, payload or {})
-        except UnknownCampaignError as exc:
-            return 404, {"error": str(exc.args[0] if exc.args else exc)}
-        except DuplicateCampaignError as exc:
-            return 409, {"error": str(exc)}
-        except ReproError as exc:
-            return 400, {"error": str(exc)}
+            status, body = 400, {"error": "request body must be a JSON object"}
+        else:
+            try:
+                status, body = self._route(method.upper(), parts, payload or {})
+            except UnknownCampaignError as exc:
+                status, body = 404, {
+                    "error": str(exc.args[0] if exc.args else exc)
+                }
+            except DuplicateCampaignError as exc:
+                status, body = 409, {"error": str(exc)}
+            except ReproError as exc:
+                status, body = 400, {"error": str(exc)}
+        if registry.enabled:
+            labels = {
+                "method": method.upper(),
+                "route": _route_template(parts),
+                "status": str(status),
+            }
+            registry.counter(
+                "http_requests_total", "HTTP requests served.", labels=labels
+            ).inc()
+            registry.timer(
+                "http_request_seconds",
+                "Request latency by method, route template, and status.",
+                labels=labels,
+            ).observe(time.perf_counter() - start)
+        return status, body
 
     def _route(self, method: str, parts: list[str], payload: dict):
+        if parts == ["metrics"] and method == "GET":
+            return 200, render_prometheus(get_registry())
+        if parts == ["healthz"] and method == "GET":
+            return 200, {
+                "status": "ok",
+                "uptime_seconds": round(time.time() - self.started_at, 3),
+                "campaigns": len(self.store),
+                "metrics_enabled": get_registry().enabled,
+            }
         if parts in ([], ["health"]) and method == "GET":
             from .. import __version__  # deferred: repro/__init__ imports us
 
@@ -203,10 +250,16 @@ class _Handler(BaseHTTPRequestHandler):
             status, body = 500, {"error": f"internal error: {exc}"}
         self._send(status, body)
 
-    def _send(self, status: int, body: dict) -> None:
-        data = json.dumps(body).encode()
+    def _send(self, status: int, body: dict | str) -> None:
+        # /metrics returns exposition text; everything else is JSON.
+        if isinstance(body, str):
+            data = body.encode("utf-8")
+            content_type = CONTENT_TYPE
+        else:
+            data = json.dumps(body).encode()
+            content_type = "application/json"
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(data)))
         self.end_headers()
         self.wfile.write(data)
@@ -215,7 +268,9 @@ class _Handler(BaseHTTPRequestHandler):
 
     def log_message(self, format: str, *args) -> None:  # noqa: A002
         if not self.quiet:
-            super().log_message(format, *args)
+            get_logger("repro.http").info(
+                format % args, client=self.address_string()
+            )
 
 
 def make_server(
@@ -237,14 +292,29 @@ def serve(
     store: CampaignStore | None = None,
     quiet: bool = False,
 ) -> None:
-    """Run the service until interrupted (the ``repro serve`` entry)."""
+    """Run the service until interrupted (the ``repro serve`` entry).
+
+    Serving enables the process metrics registry — a live service
+    without ``/metrics`` data would be pointless — and logs structured
+    JSON lines instead of bare prints.
+    """
+    get_registry().enable()
+    log = get_logger("repro.serve")
     app = StreamingApp(store)
     server = make_server(app, host, port, quiet=quiet)
     bound_host, bound_port = server.server_address[:2]
-    print(f"repro streaming service on http://{bound_host}:{bound_port}")
+    log.info(
+        "streaming service listening",
+        url=f"http://{bound_host}:{bound_port}",
+        host=str(bound_host),
+        port=int(bound_port),
+    )
+    # Keep the one human-facing line on stdout: scripts (and the CI
+    # smoke job) grep it to learn the bound ephemeral port.
+    print(f"repro streaming service on http://{bound_host}:{bound_port}", flush=True)
     try:
         server.serve_forever()
     except KeyboardInterrupt:
-        print("\nshutting down")
+        log.info("shutting down")
     finally:
         server.server_close()

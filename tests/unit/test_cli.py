@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.__main__ import main
@@ -202,9 +204,11 @@ class TestRunCache:
              "--cache", "--store", str(tmp_path / "store")]
         )
         assert code == 0
-        out = capsys.readouterr().out
-        assert "never cached" in out
-        assert "hit rate" not in out
+        captured = capsys.readouterr()
+        # The diagnostic is a structured JSON log line on stderr now.
+        assert "never cached" in captured.err
+        assert json.loads(captured.err.splitlines()[0])["logger"] == "repro.cli"
+        assert "hit rate" not in captured.out
 
 
 class TestLedgerCommand:

@@ -1,0 +1,186 @@
+"""Run tracing: JSONL round-trip, spans, and the ledger fingerprint join."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.artifacts import RunKey, RunLedger
+from repro.artifacts.ledger import result_fingerprint, row_fingerprint
+from repro.errors import ConfigurationError
+from repro.obs import trace as obs_trace
+from repro.obs.trace import (
+    TraceWriter,
+    active,
+    emit,
+    find_trace,
+    list_traces,
+    read_trace,
+    run_fingerprint,
+    span,
+    trace_run,
+)
+from repro.simulation.runner import run_instances
+
+
+def _metric_fn(k: int) -> dict[str, float]:
+    return {"value": float(k) + 0.5}
+
+
+class TestWriterRoundTrip:
+    def test_events_round_trip_in_seq_order(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        writer = TraceWriter(path, run="abc")
+        writer.emit("first", x=1)
+        writer.emit("second", y=[1, 2], z={"a": True})
+        events = read_trace(path)
+        assert [e["event"] for e in events] == ["first", "second"]
+        assert [e["seq"] for e in events] == [0, 1]
+        assert events[0]["x"] == 1
+        assert events[1]["y"] == [1, 2]
+        assert events[1]["z"] == {"a": True}
+        assert all(e["elapsed_s"] >= 0.0 for e in events)
+
+    def test_opening_a_writer_truncates_the_previous_run(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        TraceWriter(path).emit("old")
+        TraceWriter(path).emit("new")
+        assert [e["event"] for e in read_trace(path)] == ["new"]
+
+    def test_unfingerprintable_fields_fall_back_to_repr(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        TraceWriter(path).emit("weird", value=object())
+        (event,) = read_trace(path)
+        assert event["value"].startswith("<object object")
+
+    def test_corrupt_line_raises_configuration_error(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"event": "ok", "seq": 0}\nnot json\n')
+        with pytest.raises(ConfigurationError, match="corrupt trace line"):
+            read_trace(path)
+
+
+class TestActiveTrace:
+    def test_emit_and_span_are_noops_without_a_trace(self):
+        assert active() is None
+        emit("nothing", x=1)  # must not raise or write anywhere
+        with span("quiet") as writer:
+            assert writer is None
+
+    def test_trace_run_brackets_events_and_resets(self, tmp_path):
+        with trace_run({"k": 1}, directory=tmp_path, meta={"who": "test"}) as w:
+            assert active() is w
+            emit("inside", n=7)
+        assert active() is None
+        events = read_trace(w.path)
+        assert [e["event"] for e in events] == ["run_start", "inside", "run_end"]
+        assert events[0]["meta"] == {"who": "test"}
+        assert events[0]["run"] == w.run
+        assert events[-1]["ok"] is True
+
+    def test_run_end_records_failure_and_reraises(self, tmp_path):
+        with pytest.raises(RuntimeError, match="boom"):
+            with trace_run({"k": 2}, directory=tmp_path) as w:
+                raise RuntimeError("boom")
+        events = read_trace(w.path)
+        assert events[-1]["event"] == "run_end"
+        assert events[-1]["ok"] is False
+
+    def test_span_emits_start_end_with_duration(self, tmp_path):
+        with trace_run({"k": 3}, directory=tmp_path) as w:
+            with span("work", items=4):
+                pass
+        start, end = read_trace(w.path)[1:3]
+        assert start == {
+            "event": "span_start", "span": "work", "items": 4,
+            "seq": start["seq"], "elapsed_s": start["elapsed_s"],
+        }
+        assert end["event"] == "span_end"
+        assert end["ok"] is True
+        assert end["duration_s"] >= 0.0
+
+
+class TestFingerprintJoin:
+    def test_runkey_trace_is_named_by_the_result_fingerprint(self, tmp_path):
+        key = RunKey(experiment_id="e1", payload={"seed": 1})
+        assert run_fingerprint(key) == result_fingerprint(key)
+        with trace_run(key, directory=tmp_path) as w:
+            pass
+        assert w.path.name == f"{result_fingerprint(key)}.jsonl"
+
+    def test_adhoc_keys_get_stable_distinct_names(self):
+        a = run_fingerprint({"command": "run", "experiment": "fig3b"})
+        b = run_fingerprint({"command": "run", "experiment": "fig4a"})
+        assert a == run_fingerprint({"command": "run", "experiment": "fig3b"})
+        assert a != b
+
+    def test_instance_rows_carry_ledger_row_fingerprints(self, tmp_path):
+        ledger = RunLedger(tmp_path / "store")
+        key = RunKey(experiment_id="e1", payload={"seed": 9})
+        with trace_run(key, directory=tmp_path / "traces") as w:
+            run_instances(3, _metric_fn, ledger=ledger, key=key)
+        fresh = [
+            e for e in read_trace(w.path) if e["event"] == "instance_row"
+        ]
+        assert [e["instance"] for e in fresh] == [0, 1, 2]
+        assert all(e["cached"] is False for e in fresh)
+        assert [e["fingerprint"] for e in fresh] == [
+            row_fingerprint(key, k) for k in range(3)
+        ]
+        # A warm rerun replays the same fingerprints as cached rows.
+        with trace_run(key, directory=tmp_path / "traces") as w2:
+            run_instances(3, _metric_fn, ledger=ledger, key=key)
+        cached = [
+            e for e in read_trace(w2.path) if e["event"] == "instance_row"
+        ]
+        assert all(e["cached"] is True for e in cached)
+        assert [e["fingerprint"] for e in cached] == [
+            e["fingerprint"] for e in fresh
+        ]
+
+    def test_untraced_ledger_run_emits_nothing(self, tmp_path):
+        ledger = RunLedger(tmp_path / "store")
+        key = RunKey(experiment_id="e1", payload={"seed": 9})
+        table = run_instances(2, _metric_fn, ledger=ledger, key=key)
+        assert table.n_instances == 2
+        assert obs_trace.active() is None
+
+
+class TestTraceStore:
+    def test_list_traces_newest_first_with_event_counts(self, tmp_path):
+        with trace_run({"n": 1}, directory=tmp_path) as first:
+            emit("x")
+        with trace_run({"n": 2}, directory=tmp_path):
+            pass
+        entries = list_traces(tmp_path)
+        assert len(entries) == 2
+        assert {e.fingerprint for e in entries} == {
+            p.stem for p in tmp_path.glob("*.jsonl")
+        }
+        by_name = {e.fingerprint: e for e in entries}
+        assert by_name[first.run].events == 3  # run_start, x, run_end
+
+    def test_list_traces_empty_directory(self, tmp_path):
+        assert list_traces(tmp_path / "missing") == []
+
+    def test_find_trace_by_unambiguous_prefix(self, tmp_path):
+        with trace_run({"n": 1}, directory=tmp_path) as w:
+            pass
+        assert find_trace(w.run[:10], tmp_path) == w.path
+        with pytest.raises(ConfigurationError, match="no trace matches"):
+            find_trace("zzzz", tmp_path)
+        with pytest.raises(ConfigurationError, match="empty"):
+            find_trace("  ", tmp_path)
+
+    def test_find_trace_ambiguous_prefix(self, tmp_path):
+        (tmp_path / "abc111.jsonl").write_text("")
+        (tmp_path / "abc222.jsonl").write_text("")
+        with pytest.raises(ConfigurationError, match="ambiguous"):
+            find_trace("abc", tmp_path)
+
+    def test_json_lines_are_plain_json(self, tmp_path):
+        with trace_run({"n": 5}, directory=tmp_path) as w:
+            emit("e", value=1.5)
+        for line in w.path.read_text().splitlines():
+            assert isinstance(json.loads(line), dict)

@@ -377,3 +377,100 @@ class TestLiveServer:
         with pytest.raises(urllib.error.HTTPError) as excinfo:
             urllib.request.urlopen(request)
         assert excinfo.value.code == 400
+
+
+@pytest.fixture
+def enabled_registry():
+    """Swap in a fresh enabled registry for the duration of one test."""
+    from repro.obs import MetricsRegistry, set_registry
+
+    registry = MetricsRegistry(enabled=True)
+    previous = set_registry(registry)
+    yield registry
+    set_registry(previous)
+
+
+class TestObservabilityRoutes:
+    def test_healthz(self, app):
+        status, body = app.handle("GET", "/healthz")
+        assert status == 200
+        assert body["status"] == "ok"
+        assert body["uptime_seconds"] >= 0.0
+        assert body["campaigns"] == 0
+        assert isinstance(body["metrics_enabled"], bool)
+
+    def test_metrics_route_returns_exposition_text(self, app, enabled_registry):
+        app.handle("POST", "/campaigns", {"campaign_id": "c1"})
+        status, body = app.handle("GET", "/metrics")
+        assert status == 200
+        assert isinstance(body, str)
+        assert "# TYPE http_requests_total counter" in body
+        assert "# TYPE streaming_campaigns_live gauge" in body
+
+    def test_metrics_on_disabled_registry_is_empty_text(self, app):
+        from repro.obs import MetricsRegistry, set_registry
+
+        previous = set_registry(MetricsRegistry(enabled=False))
+        try:
+            status, body = app.handle("GET", "/metrics")
+        finally:
+            set_registry(previous)
+        assert status == 200
+        assert body == ""
+
+    def test_request_metrics_use_route_templates(self, app, enabled_registry):
+        app.handle("POST", "/campaigns", {"campaign_id": "one two"})
+        app.handle("GET", "/campaigns/one%20two")
+        app.handle("GET", "/campaigns/one%20two/truths")
+        app.handle("GET", "/campaigns/missing/truths")
+        text = app.handle("GET", "/metrics")[1]
+        # Campaign ids collapse into one {id} template per route, so the
+        # label space stays bounded no matter how many campaigns exist.
+        assert 'route="/campaigns/{id}"' in text
+        assert 'route="/campaigns/{id}/truths"' in text
+        assert "one two" not in text
+        assert (
+            'http_requests_total{method="GET",'
+            'route="/campaigns/{id}/truths",status="200"} 1' in text
+        )
+        assert (
+            'http_requests_total{method="GET",'
+            'route="/campaigns/{id}/truths",status="404"} 1' in text
+        )
+
+    def test_ingest_records_per_campaign_counters(
+        self, app, replay, enabled_registry
+    ):
+        app.handle("POST", "/campaigns", {"campaign_id": "c1"})
+        for batch in replay:
+            app.handle(
+                "POST", "/campaigns/c1/claims",
+                batch_to_json(batch, include_truth=True),
+            )
+        claims = enabled_registry.counter(
+            "streaming_claims_ingested_total", labels={"campaign": "c1"}
+        )
+        assert claims.value == sum(batch.n_claims for batch in replay)
+        batches = enabled_registry.counter(
+            "streaming_ingest_batches_total", labels={"campaign": "c1"}
+        )
+        assert batches.value == len(replay)
+
+    def test_live_metrics_scrape_content_type(self, enabled_registry, app):
+        server = make_server(app, port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            port = server.server_address[1]
+            with urllib.request.urlopen(
+                f"http://127.0.0.1:{port}/metrics"
+            ) as response:
+                assert response.status == 200
+                content_type = response.headers["Content-Type"]
+                body = response.read().decode("utf-8")
+        finally:
+            server.shutdown()
+            server.server_close()
+        assert content_type.startswith("text/plain")
+        assert "version=0.0.4" in content_type
+        assert "http_requests_total" in body or body == ""
