@@ -25,6 +25,7 @@ GOLDEN_DIR = Path(__file__).resolve().parent.parent / "tests" / "golden"
 
 def golden_results() -> dict[str, object]:
     """The pinned demo runs (import here so --help stays dependency-free)."""
+    from repro.experiments.algo_accuracy import run_algo_accuracy
     from repro.experiments.fig3 import run_fig3a, run_fig3b
     from repro.experiments.fig67 import run_fig6a, run_fig7a_payments
     from repro.experiments.table1 import run_table1
@@ -56,6 +57,18 @@ def golden_results() -> dict[str, object]:
         ),
         "fig7a_payments": run_fig7a_payments(
             "quick", instances=2, base_seed=7, task_grid=auction_grid
+        ),
+        # The zoo's accuracy grid: the six fast algorithms (ED is
+        # excluded — exhaustive dependence enumeration costs seconds
+        # per run and is already pinned by the adapter differential
+        # tests) across three copier fractions.  Drift in any zoo
+        # member's numerics fails its series point by point.
+        "algo_accuracy": run_algo_accuracy(
+            "quick",
+            instances=2,
+            base_seed=7,
+            algorithms=("DATE", "MV", "NC", "TruthFinder", "FDS", "LCA"),
+            copier_fractions=(0.0, 0.15, 0.3),
         ),
     }
 

@@ -8,8 +8,15 @@ Subcommands:
   the table and ASCII chart, optionally export CSV/JSON;
 - ``repro generate <dir> [--tasks N] [--workers N] [--copiers N]
   [--claims N] [--seed S]`` — write a seeded synthetic campaign as CSV;
-- ``repro truth <dir> [--algorithm DATE|MV|NC|ED] [--r R] [--alpha A]``
-  — run truth discovery on a CSV dataset and print the estimates;
+- ``repro truth <dir> [--algorithm NAME] [--r R] [--alpha A]`` — run
+  truth discovery on a CSV dataset and print the estimates; any
+  algorithm-zoo member (``repro algo list``) is accepted;
+- ``repro algo list`` — show every registered truth-discovery
+  algorithm (the zoo behind the ``TruthDiscoverer`` interface);
+- ``repro algo run [--algorithms A,B] [--fractions F1,F2] [--scale S]
+  [--instances N] [--parallel N] [--cache]`` — run the
+  ``algo-accuracy`` grid: precision of each selected algorithm as the
+  copier fraction sweeps;
 - ``repro auction <dir> [--cap F]`` — run the full IMC2 mechanism on a
   CSV dataset and print winners and payments;
 - ``repro serve [--host H] [--port P] [--refresh-every N]`` — run the
@@ -54,12 +61,12 @@ from pathlib import Path
 from urllib.parse import quote
 
 from .artifacts import LedgerError, RunLedger
-from .baselines import EnumerateDependence, MajorityVote, NoCopier
 from .core.config import DateConfig
-from .core.date import DATE
 from .datasets.io import load_dataset, save_dataset
 from .datasets.qatar_living import generate_qatar_living_like
+from .discovery import ALGORITHM_NAMES, list_algorithms, make_discoverer
 from .errors import ReproError
+from .experiments.algo_accuracy import run_algo_accuracy
 from .experiments.registry import get_experiment, list_experiments
 from .mechanism.imc2 import IMC2
 from .obs import (
@@ -79,13 +86,6 @@ from .scenarios import get_scenario, list_scenarios, run_scenario
 from .streaming import CampaignStore, OnlineDATE, batch_to_json, replay_batches, serve
 
 __all__ = ["main"]
-
-_TRUTH_ALGORITHMS = {
-    "DATE": lambda cfg: DATE(cfg),
-    "MV": lambda cfg: MajorityVote(),
-    "NC": lambda cfg: NoCopier(cfg),
-    "ED": lambda cfg: EnumerateDependence(cfg),
-}
 
 
 def _add_cache_arguments(parser: argparse.ArgumentParser) -> None:
@@ -196,8 +196,9 @@ def _build_parser() -> argparse.ArgumentParser:
     truth.add_argument("directory", type=Path, help="dataset directory")
     truth.add_argument(
         "--algorithm",
-        choices=sorted(_TRUTH_ALGORITHMS),
+        choices=ALGORITHM_NAMES,
         default="DATE",
+        help="any algorithm-zoo member (see 'repro algo list')",
     )
     truth.add_argument("--r", type=float, default=0.4, help="assumed copy prob")
     truth.add_argument("--alpha", type=float, default=0.2, help="dependence prior")
@@ -205,6 +206,56 @@ def _build_parser() -> argparse.ArgumentParser:
     truth.add_argument(
         "--limit", type=int, default=20, help="print at most this many tasks"
     )
+
+    algo = sub.add_parser(
+        "algo", help="truth-discovery algorithm zoo (list / run)"
+    )
+    algo_sub = algo.add_subparsers(dest="algo_command", required=True)
+    algo_sub.add_parser("list", help="list every registered algorithm")
+    algo_run = algo_sub.add_parser(
+        "run", help="run the algo-accuracy grid (precision vs copier fraction)"
+    )
+    algo_run.add_argument(
+        "--algorithms",
+        default=",".join(ALGORITHM_NAMES),
+        help="comma-separated algorithm names (default: the whole zoo)",
+    )
+    algo_run.add_argument(
+        "--fractions",
+        default=None,
+        help="comma-separated copier fractions of the worker pool "
+        "(default: 0,0.1,0.2,0.3,0.4)",
+    )
+    algo_run.add_argument(
+        "--scale",
+        choices=("quick", "paper"),
+        default="quick",
+        help="workload size preset (default: quick)",
+    )
+    algo_run.add_argument(
+        "--instances",
+        type=int,
+        default=None,
+        help="override the number of seeded instances to average over",
+    )
+    algo_run.add_argument("--seed", type=int, default=42, help="base seed")
+    algo_run.add_argument(
+        "--parallel",
+        type=int,
+        default=1,
+        help="fan instances out over N worker processes "
+        "(bit-identical to the serial run)",
+    )
+    algo_run.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="directory to export CSV and JSON results into",
+    )
+    algo_run.add_argument(
+        "--no-chart", action="store_true", help="skip the ASCII chart rendering"
+    )
+    _add_cache_arguments(algo_run)
 
     auction = sub.add_parser("auction", help="run IMC2 on a CSV dataset")
     auction.add_argument("directory", type=Path, help="dataset directory")
@@ -237,6 +288,13 @@ def _build_parser() -> argparse.ArgumentParser:
     server.add_argument("--r", type=float, default=0.4, help="assumed copy prob")
     server.add_argument("--alpha", type=float, default=0.2, help="dependence prior")
     server.add_argument("--epsilon", type=float, default=0.5, help="initial accuracy")
+    server.add_argument(
+        "--algorithm",
+        choices=ALGORITHM_NAMES,
+        default="DATE",
+        help="default truth-discovery algorithm for new campaigns "
+        "(per-campaign override via the create payload)",
+    )
     server.add_argument("--quiet", action="store_true", help="suppress access logs")
 
     ingest = sub.add_parser(
@@ -266,6 +324,13 @@ def _build_parser() -> argparse.ArgumentParser:
     ingest.add_argument("--r", type=float, default=0.4, help="assumed copy prob")
     ingest.add_argument("--alpha", type=float, default=0.2, help="dependence prior")
     ingest.add_argument("--epsilon", type=float, default=0.5, help="initial accuracy")
+    ingest.add_argument(
+        "--algorithm",
+        choices=ALGORITHM_NAMES,
+        default=None,
+        help="truth-discovery algorithm driving the replay "
+        "(default: DATE in-process, the server's default remotely)",
+    )
     ingest.add_argument(
         "--trace",
         action="store_true",
@@ -309,6 +374,12 @@ def _build_parser() -> argparse.ArgumentParser:
         type=float,
         default=None,
         help="override the dependence-posterior detection threshold",
+    )
+    scenario_run.add_argument(
+        "--algorithm",
+        choices=ALGORITHM_NAMES,
+        default=None,
+        help="override the scenario's truth-discovery algorithm",
     )
     _add_cache_arguments(scenario_run)
 
@@ -487,7 +558,7 @@ def _cmd_truth(args: argparse.Namespace) -> int:
     config = DateConfig(
         copy_prob_r=args.r, prior_alpha=args.alpha, initial_accuracy=args.epsilon
     )
-    algorithm = _TRUTH_ALGORITHMS[args.algorithm](config)
+    algorithm = make_discoverer(args.algorithm, date_config=config)
     result = algorithm.run(dataset)
     rows = []
     for task_id, value in list(result.truths.items())[: args.limit]:
@@ -501,6 +572,47 @@ def _cmd_truth(args: argparse.Namespace) -> int:
         print(f"precision: {result.precision():.4f} over {len(dataset.truths)} tasks")
     if len(result.truths) > args.limit:
         print(f"(showing {args.limit} of {len(result.truths)} tasks)")
+    return 0
+
+
+def _cmd_algo(args: argparse.Namespace) -> int:
+    if args.algo_command == "list":
+        rows = [
+            (spec.name, spec.kind, spec.summary) for spec in list_algorithms()
+        ]
+        print(format_table(["name", "kind", "summary"], rows))
+        return 0
+    # run
+    algorithms = tuple(
+        name for name in (s.strip() for s in args.algorithms.split(",")) if name
+    )
+    kwargs: dict[str, object] = {
+        "scale": args.scale,
+        "base_seed": args.seed,
+        "algorithms": algorithms,
+        "parallel": args.parallel,
+    }
+    if args.fractions is not None:
+        kwargs["copier_fractions"] = tuple(
+            float(s) for s in args.fractions.split(",") if s.strip()
+        )
+    if args.instances is not None:
+        kwargs["instances"] = args.instances
+    ledger = _ledger_from(args)
+    if ledger is not None:
+        ledger.reset_stats()
+        kwargs["ledger"] = ledger
+    result = run_algo_accuracy(**kwargs)
+    print(render_result_table(result))
+    if not args.no_chart:
+        print()
+        print(render_chart(result))
+    if args.out is not None:
+        csv_path = write_csv(result, args.out / "algo-accuracy.csv")
+        json_path = write_json(result, args.out / "algo-accuracy.json")
+        print(f"\nwrote {csv_path} and {json_path}")
+    if ledger is not None:
+        _print_ledger_stats(ledger)
     return 0
 
 
@@ -538,6 +650,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         ),
         refresh_every=args.refresh_every,
         max_campaigns=args.max_campaigns,
+        algorithm=args.algorithm,
     )
     serve(args.host, args.port, store=store, quiet=args.quiet)
     return 0
@@ -579,7 +692,11 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
             prior_alpha=args.alpha,
             initial_accuracy=args.epsilon,
         )
-        online = OnlineDATE(config, refresh_every=args.refresh_every)
+        online = OnlineDATE(
+            config,
+            refresh_every=args.refresh_every,
+            algorithm=args.algorithm or "DATE",
+        )
 
         def apply(batch) -> dict:
             return dataclasses.asdict(online.ingest(batch))
@@ -600,6 +717,7 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
             {
                 "campaign_id": campaign_id,
                 "refresh_every": args.refresh_every,
+                "algorithm": args.algorithm,
                 "config": {
                     "r": args.r, "alpha": args.alpha, "epsilon": args.epsilon
                 },
@@ -707,6 +825,8 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
         overrides["base_seed"] = args.seed
     if args.threshold is not None:
         overrides["detection_threshold"] = args.threshold
+    if args.algorithm is not None:
+        overrides["algorithm"] = args.algorithm
     if overrides:
         scenario = scenario.evolve(**overrides)
     ledger = _ledger_from(args)
@@ -904,6 +1024,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_generate(args)
     if args.command == "truth":
         return _cmd_truth(args)
+    if args.command == "algo":
+        return _cmd_algo(args)
     if args.command == "auction":
         return _cmd_auction(args)
     if args.command == "serve":

@@ -21,6 +21,7 @@ from typing import Any
 from ..errors import ConfigurationError, UnknownExperimentError
 from ..simulation.sweep import ExperimentResult
 from .ablation import run_ablation
+from .algo_accuracy import run_algo_accuracy
 from .approx import run_approx
 from .fig3 import run_fig3a, run_fig3b
 from .fig45 import run_fig4a, run_fig4b, run_fig5a, run_fig5b
@@ -203,6 +204,13 @@ _register(
     "Truth-discovery precision using only auction winners",
     run_winners_quality,
     features="scale instances ledger",
+)
+_register(
+    "algo-accuracy",
+    "Algorithm zoo (extension)",
+    "Precision of every TruthDiscoverer vs copier fraction",
+    run_algo_accuracy,
+    features="scale instances parallel ledger",
 )
 _register(
     "adv-f1",

@@ -71,6 +71,9 @@ class Scenario:
     #: metrics (needed by bid-shading scenarios).
     auction: bool = False
     requirement_cap: float = 0.8
+    #: Truth-discovery algorithm driving the primary estimate (any zoo
+    #: member; the ``date_precision`` metric reports whichever runs).
+    algorithm: str = "DATE"
 
     def __post_init__(self) -> None:
         if not self.name:

@@ -24,8 +24,9 @@ from functools import partial
 
 from ..artifacts import RunKey, RunLedger
 from ..baselines import MajorityVote
-from ..core.date import DATE, TruthDiscoveryResult
+from ..core.date import TruthDiscoveryResult
 from ..core.indexing import DatasetIndex
+from ..discovery import make_discoverer
 from ..mechanism.imc2 import IMC2
 from ..simulation.metrics import precision
 from ..simulation.runner import InstanceTable, run_instances
@@ -122,7 +123,8 @@ def instance_metrics(scenario: Scenario, k: int) -> dict[str, float]:
     world = scenario.world_for(k)
     dataset = world.dataset
     index = DatasetIndex(dataset)
-    result = DATE(scenario.date).run(dataset, index=index)
+    discoverer = make_discoverer(scenario.algorithm, date_config=scenario.date)
+    result = discoverer.run(dataset, index=index)
     mv = MajorityVote().run(dataset, index=index)
     report = detection_report(result, world, scenario.detection_threshold)
     metrics: dict[str, float] = {

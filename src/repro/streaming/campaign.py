@@ -23,6 +23,7 @@ from ..artifacts import (
 from ..auction.config import AuctionConfig
 from ..core.config import DateConfig
 from ..core.date import TruthDiscoveryResult
+from ..discovery import canonical_algorithm
 from ..errors import ConfigurationError, ReproError
 from ..mechanism.imc2 import IMC2, IMC2Outcome
 from ..obs.metrics import get_registry
@@ -85,6 +86,7 @@ class Campaign:
         dataset = self.online.dataset
         return {
             "campaign_id": self.campaign_id,
+            "algorithm": self.online.algorithm,
             "tasks": dataset.n_tasks,
             "workers": dataset.n_workers,
             "claims": dataset.n_claims,
@@ -112,6 +114,9 @@ class CampaignStore:
     refresh_every:
         Default periodic-refresh cadence for new campaigns (0 = only
         explicit refreshes).
+    algorithm:
+        Default truth-discovery algorithm for new campaigns (any zoo
+        member; per-campaign override via :meth:`create`).
     max_campaigns:
         When set, creating a campaign beyond this count evicts the
         least recently touched one.
@@ -132,6 +137,7 @@ class CampaignStore:
         refresh_every: int = 0,
         max_campaigns: int | None = None,
         ledger: RunLedger | None = None,
+        algorithm: str = "DATE",
     ):
         if max_campaigns is not None and max_campaigns < 1:
             raise ConfigurationError(
@@ -139,6 +145,7 @@ class CampaignStore:
             )
         self.default_config = config or DateConfig()
         self.default_refresh_every = refresh_every
+        self.default_algorithm = canonical_algorithm(algorithm)
         self.max_campaigns = max_campaigns
         self.ledger = ledger
         self._campaigns: OrderedDict[str, Campaign] = OrderedDict()
@@ -169,6 +176,7 @@ class CampaignStore:
         workers: Iterable[WorkerProfile] = (),
         config: DateConfig | None = None,
         refresh_every: int | None = None,
+        algorithm: str | None = None,
     ) -> Campaign:
         """Register a new campaign, optionally pre-publishing tasks."""
         if not campaign_id:
@@ -186,6 +194,7 @@ class CampaignStore:
                 if refresh_every is None
                 else refresh_every
             ),
+            algorithm=algorithm or self.default_algorithm,
         )
         campaign = Campaign(campaign_id, online)
         tasks = tuple(tasks)
@@ -386,6 +395,7 @@ def _campaign_content_key(online: OnlineDATE) -> dict:
     dataset = online.dataset
     return {
         "date": online.config,
+        "algorithm": online.algorithm,
         "tasks": dataset.tasks,
         "workers": dataset.workers,
         "claims": dataset.claims,

@@ -34,9 +34,10 @@ from dataclasses import dataclass, replace as dc_replace
 import numpy as np
 
 from ..core.config import DateConfig
-from ..core.date import DATE, TruthDiscoveryResult
+from ..core.date import TruthDiscoveryResult
 from ..core.engine import DependenceArrays, IncrementalDependence, dense_accuracy
 from ..core.indexing import ClaimArrays, DatasetIndex
+from ..discovery import canonical_algorithm, make_discoverer
 from ..errors import ConfigurationError
 from ..types import Dataset
 from .ingest import ClaimBatch
@@ -97,6 +98,12 @@ class OnlineDATE:
         Run a full refresh automatically after every N ingested
         batches; 0 (default) refreshes only on explicit
         :meth:`refresh` calls.
+    algorithm:
+        Name of the truth-discovery zoo member driving both the
+        dirty-scope passes and the full refreshes (default ``DATE``;
+        see :func:`repro.discovery.list_algorithms`).  Algorithms
+        without a warm-start path simply re-estimate the dirty scope
+        cold — the refresh exactness guarantee is unchanged.
     track_dependence:
         Maintain campaign-level pairwise dependence posteriors
         incrementally across batches
@@ -119,6 +126,7 @@ class OnlineDATE:
         *,
         refresh_every: int = 0,
         track_dependence: bool = False,
+        algorithm: str = "DATE",
     ):
         if refresh_every < 0:
             raise ConfigurationError(
@@ -126,6 +134,13 @@ class OnlineDATE:
             )
         self._config = config or DateConfig()
         self._sub_config = self._config.evolve(stable_dependence=True)
+        self._algorithm = canonical_algorithm(algorithm)
+        self._discoverer = make_discoverer(
+            self._algorithm, date_config=self._config
+        )
+        self._sub_discoverer = make_discoverer(
+            self._algorithm, date_config=self._sub_config
+        )
         self.refresh_every = refresh_every
         self._track_dependence = track_dependence
         self._engine: IncrementalDependence | None = None
@@ -158,6 +173,11 @@ class OnlineDATE:
     @property
     def config(self) -> DateConfig:
         return self._config
+
+    @property
+    def algorithm(self) -> str:
+        """Canonical name of the zoo member driving this estimator."""
+        return self._algorithm
 
     @property
     def dataset(self) -> Dataset:
@@ -283,7 +303,7 @@ class OnlineDATE:
             ]
             if dirty:
                 sub = _subcampaign(self._index, dirty)
-                result = DATE(self._sub_config).run(
+                result = self._sub_discoverer.run(
                     sub, warm_start=self._warm_snapshot(), lean=True
                 )
                 self._merge(dirty, result)
@@ -317,7 +337,7 @@ class OnlineDATE:
         rebuild), and the online state adopts it wholesale.
         """
         index = self._index
-        result = DATE(self._config).run(index.dataset, index=index)
+        result = self._discoverer.run(index.dataset, index=index)
         return self.adopt_refresh(result)
 
     def adopt_refresh(self, result: TruthDiscoveryResult) -> TruthDiscoveryResult:

@@ -89,7 +89,9 @@ class StreamingApp:
     """Transport-free dispatcher: ``(method, path, payload) -> (status, body)``."""
 
     def __init__(self, store: CampaignStore | None = None):
-        self.store = store or CampaignStore()
+        # `store or ...` would discard a configured-but-empty store:
+        # CampaignStore defines __len__, so a fresh store is falsy.
+        self.store = store if store is not None else CampaignStore()
         self.started_at = time.time()
 
     def handle(self, method: str, path: str, payload: dict | None = None):
@@ -192,6 +194,9 @@ class StreamingApp:
         refresh_every = payload.get("refresh_every")
         if refresh_every is not None:
             refresh_every = int(coerce_number(payload, "refresh_every", 0))
+        algorithm = payload.get("algorithm")
+        if algorithm is not None:
+            algorithm = str(algorithm)
         campaign = self.store.create(
             str(payload["campaign_id"]),
             tasks=tuple(task_from_spec(s) for s in payload.get("tasks", ())),
@@ -200,6 +205,7 @@ class StreamingApp:
                 payload.get("config"), self.store.default_config
             ),
             refresh_every=refresh_every,
+            algorithm=algorithm,
         )
         return 201, campaign.describe()
 

@@ -1,12 +1,22 @@
-"""Shared fixtures: small, fast, deterministic datasets and instances."""
+"""Shared fixtures: small, fast, deterministic datasets and instances.
+
+Also the single home of the Hypothesis profile: ``deadline=None`` is a
+suite-wide policy (CI machines stall unpredictably; wall-clock is not a
+correctness property), registered once here instead of repeated in
+every ``@settings`` across the property suites.
+"""
 
 from __future__ import annotations
 
 import numpy as np
 import pytest
+from hypothesis import settings as hypothesis_settings
 
 from repro import Dataset, SOACInstance, Task, WorkerProfile
 from repro.datasets import generate_qatar_living_like
+
+hypothesis_settings.register_profile("repro", deadline=None)
+hypothesis_settings.load_profile("repro")
 
 
 @pytest.fixture

@@ -1,0 +1,76 @@
+"""Integration pins for the ``algo-accuracy`` experiment.
+
+The zoo grid must behave like every other registered experiment:
+
+- ``parallel=4`` through the real spawn pool equals ``parallel=1``
+  bit for bit (the per-instance work function evaluates the whole
+  algorithm × fraction grid, so this also proves the zoo's
+  spawn-safety);
+- warm ledger runs reproduce cold runs exactly, with the result
+  served from cache;
+- the registry dispatches ``algo-accuracy`` with pass-through kwargs;
+- algorithm names are normalized, so spelling differences cannot
+  fork the cache key.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.artifacts import RunLedger
+from repro.experiments import ScalePreset
+from repro.experiments.algo_accuracy import run_algo_accuracy
+from repro.experiments.registry import get_experiment, run_experiment
+
+pytestmark = pytest.mark.filterwarnings("ignore::repro.errors.ConvergenceWarning")
+
+#: Small enough for CI, big enough that DATE/TruthFinder/LCA all have
+#: signal to disagree over.
+TINY = ScalePreset(
+    name="tiny",
+    n_tasks=30,
+    n_workers=16,
+    n_copiers=4,
+    target_claims=240,
+    instances=3,
+)
+
+KWARGS = dict(
+    scale=TINY,
+    base_seed=11,
+    algorithms=("DATE", "MV", "TruthFinder", "LCA"),
+    copier_fractions=(0.0, 0.25),
+)
+
+
+def test_parallel_matches_serial():
+    serial = run_algo_accuracy(**KWARGS, parallel=1)
+    fanned = run_algo_accuracy(**KWARGS, parallel=4)
+    assert serial == fanned  # dataclass equality: series, x, meta
+    assert sorted(serial.series_names) == ["DATE", "LCA", "MV", "TruthFinder"]
+
+
+def test_warm_ledger_equals_cold(tmp_path):
+    ledger = RunLedger(tmp_path / "store")
+    cold = run_algo_accuracy(**KWARGS, ledger=ledger)
+    ledger.reset_stats()
+    warm = run_algo_accuracy(**KWARGS, ledger=ledger)
+    assert warm == cold
+    assert ledger.stats.hits == 1 and ledger.stats.misses == 0
+    plain = run_algo_accuracy(**KWARGS)
+    assert plain.to_payload() == cold.to_payload()
+
+
+def test_registry_dispatch():
+    spec = get_experiment("algo-accuracy")
+    assert "parallel" in spec.features and "ledger" in spec.features
+    via_registry = run_experiment("algo-accuracy", **KWARGS)
+    assert via_registry == run_algo_accuracy(**KWARGS)
+
+
+def test_algorithm_spelling_is_normalized():
+    canonical = run_algo_accuracy(**KWARGS)
+    spelled = run_algo_accuracy(
+        **{**KWARGS, "algorithms": ("date", "mv", "truthfinder", "lca")}
+    )
+    assert spelled == canonical

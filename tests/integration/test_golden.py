@@ -62,7 +62,8 @@ def results():
 
 
 @pytest.mark.parametrize(
-    "name", ["fig3a", "fig3b", "table1", "fig6a", "fig7a_payments"]
+    "name",
+    ["fig3a", "fig3b", "table1", "fig6a", "fig7a_payments", "algo_accuracy"],
 )
 def test_series_match_golden(name, results):
     path = GOLDEN_DIR / f"{name}.json"

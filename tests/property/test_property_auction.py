@@ -48,7 +48,7 @@ def soac_instances(draw, max_workers=8, max_tasks=4):
 
 class TestGreedyCoverProperties:
     @given(instance=soac_instances())
-    @settings(max_examples=50, deadline=None)
+    @settings(max_examples=50)
     def test_selection_covers_and_never_repeats(self, instance):
         selection = greedy_cover(instance)
         workers = [w for w, _ in selection]
@@ -56,7 +56,7 @@ class TestGreedyCoverProperties:
         assert instance.is_covering(workers)
 
     @given(instance=soac_instances())
-    @settings(max_examples=50, deadline=None)
+    @settings(max_examples=50)
     def test_every_selected_worker_was_useful(self, instance):
         for worker, residual in greedy_cover(instance):
             marginal = float(
@@ -67,7 +67,7 @@ class TestGreedyCoverProperties:
 
 class TestAuctionProperties:
     @given(instance=soac_instances())
-    @settings(max_examples=40, deadline=None)
+    @settings(max_examples=40)
     def test_individual_rationality_under_truthful_bids(self, instance):
         outcome = ReverseAuction().run(instance)
         cost_by_id = dict(zip(instance.worker_ids, instance.costs))
@@ -75,7 +75,7 @@ class TestAuctionProperties:
             assert payment >= cost_by_id[winner] - 1e-9
 
     @given(instance=soac_instances())
-    @settings(max_examples=40, deadline=None)
+    @settings(max_examples=40)
     def test_social_cost_matches_selection(self, instance):
         outcome = ReverseAuction().run(instance)
         assert outcome.social_cost == float(
@@ -83,7 +83,7 @@ class TestAuctionProperties:
         )
 
     @given(instance=soac_instances(), factor=st.floats(min_value=0.1, max_value=0.9))
-    @settings(max_examples=40, deadline=None)
+    @settings(max_examples=40)
     def test_selection_monotone_in_bid(self, instance, factor):
         """A winner that lowers its bid must keep winning (Theorem 2)."""
         outcome = ReverseAuction().run(instance)
@@ -95,7 +95,7 @@ class TestAuctionProperties:
         assert winner in again.payments
 
     @given(instance=soac_instances())
-    @settings(max_examples=25, deadline=None)
+    @settings(max_examples=25)
     def test_greedy_at_least_optimal_and_bounded(self, instance):
         from repro.auction.properties import approximation_bound
 
@@ -107,7 +107,7 @@ class TestAuctionProperties:
             assert ratio <= approximation_bound(instance) + 1e-6
 
     @given(instance=soac_instances())
-    @settings(max_examples=30, deadline=None)
+    @settings(max_examples=30)
     def test_all_auctions_cover(self, instance):
         """RA, GA and GB must each produce a covering winner set.
 
@@ -123,7 +123,7 @@ class TestAuctionProperties:
             assert instance.is_covering(outcome.winner_indexes)
 
     @given(instance=soac_instances())
-    @settings(max_examples=30, deadline=None)
+    @settings(max_examples=30)
     def test_payments_finite_and_non_negative(self, instance):
         outcome = ReverseAuction().run(instance)
         for payment in outcome.payments.values():
@@ -131,7 +131,7 @@ class TestAuctionProperties:
             assert payment >= 0.0
 
     @given(instance=soac_instances())
-    @settings(max_examples=30, deadline=None)
+    @settings(max_examples=30)
     def test_winner_lists_consistent(self, instance):
         outcome = ReverseAuction().run(instance)
         assert set(outcome.payments) == set(outcome.winner_ids)

@@ -88,18 +88,18 @@ def assert_outcomes_identical(instance: SOACInstance, **auction_kwargs) -> None:
 
 class TestRandomInstances:
     @given(seed=st.integers(min_value=0, max_value=10_000))
-    @settings(max_examples=60, deadline=None)
+    @settings(max_examples=60)
     def test_outcomes_identical(self, seed):
         assert_outcomes_identical(build_instance(seed))
 
     @given(seed=st.integers(min_value=0, max_value=10_000))
-    @settings(max_examples=40, deadline=None)
+    @settings(max_examples=40)
     def test_skewed_bids(self, seed):
         """Heavy-tailed bids reorder selection far from index order."""
         assert_outcomes_identical(build_instance(seed, bid_spread=2.0))
 
     @given(seed=st.integers(min_value=0, max_value=10_000))
-    @settings(max_examples=40, deadline=None)
+    @settings(max_examples=40)
     def test_near_singular_requirements(self, seed):
         """Requirements at 99.9% of availability breed monopolists."""
         instance = build_instance(seed, requirement_pressure=0.999)
@@ -115,7 +115,7 @@ class TestRandomInstances:
             )
 
     @given(seed=st.integers(min_value=0, max_value=10_000))
-    @settings(max_examples=40, deadline=None)
+    @settings(max_examples=40)
     def test_selection_traces_identical(self, seed):
         """vectorized_cover is a drop-in for greedy_cover, residuals included."""
         instance = build_instance(seed)
@@ -129,7 +129,7 @@ class TestRandomInstances:
         seed=st.integers(min_value=0, max_value=10_000),
         exclude=st.integers(min_value=0, max_value=3),
     )
-    @settings(max_examples=30, deadline=None)
+    @settings(max_examples=30)
     def test_excluded_traces_identical(self, seed, exclude):
         """Exclusion (the payment rerun's W \\ {i}) matches too."""
         instance = build_instance(seed)

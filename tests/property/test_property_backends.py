@@ -133,22 +133,22 @@ def run_both(algorithm_cls, dataset, **config_kwargs):
 
 class TestDateBackendEquivalence:
     @given(dataset=claim_matrices(), params=config_variants())
-    @settings(max_examples=60, deadline=None, derandomize=True)
+    @settings(max_examples=60, derandomize=True)
     def test_random_datasets(self, dataset, params):
         assert_equivalent(*run_both(DATE, dataset, **params))
 
     @given(dataset=copier_heavy_matrices(), params=config_variants())
-    @settings(max_examples=60, deadline=None, derandomize=True)
+    @settings(max_examples=60, derandomize=True)
     def test_copier_heavy_datasets(self, dataset, params):
         assert_equivalent(*run_both(DATE, dataset, **params))
 
     @given(dataset=sparse_matrices(), params=config_variants())
-    @settings(max_examples=40, deadline=None, derandomize=True)
+    @settings(max_examples=40, derandomize=True)
     def test_sparse_coverage_datasets(self, dataset, params):
         assert_equivalent(*run_both(DATE, dataset, **params))
 
     @given(dataset=claim_matrices())
-    @settings(max_examples=25, deadline=None, derandomize=True)
+    @settings(max_examples=25, derandomize=True)
     def test_zipf_false_values(self, dataset):
         index = DatasetIndex(dataset)
         ref = DATE(
@@ -160,7 +160,7 @@ class TestDateBackendEquivalence:
         assert_equivalent(ref, vec)
 
     @given(dataset=claim_matrices())
-    @settings(max_examples=25, deadline=None, derandomize=True)
+    @settings(max_examples=25, derandomize=True)
     def test_empirical_false_values_undiscounted(self, dataset):
         # discounted_posterior=False exercises the general (non
         # candidate-free) posterior kernel.
@@ -182,7 +182,7 @@ class TestDateBackendEquivalence:
         assert_equivalent(ref, vec)
 
     @given(dataset=claim_matrices(), params=config_variants())
-    @settings(max_examples=30, deadline=None, derandomize=True)
+    @settings(max_examples=30, derandomize=True)
     def test_similarity_adjustment(self, dataset, params):
         def similarity(a: str, b: str) -> float:
             return 0.5 if (a, b) in (("A", "B"), ("B", "A")) else 0.0
@@ -193,12 +193,12 @@ class TestDateBackendEquivalence:
 
 class TestBaselineBackendEquivalence:
     @given(dataset=copier_heavy_matrices(), params=config_variants())
-    @settings(max_examples=40, deadline=None, derandomize=True)
+    @settings(max_examples=40, derandomize=True)
     def test_no_copier(self, dataset, params):
         assert_equivalent(*run_both(NoCopier, dataset, **params))
 
     @given(dataset=copier_heavy_matrices(), params=config_variants())
-    @settings(max_examples=30, deadline=None, derandomize=True)
+    @settings(max_examples=30, derandomize=True)
     def test_enumerate_dependence(self, dataset, params):
         assert_equivalent(*run_both(EnumerateDependence, dataset, **params))
 
@@ -227,7 +227,7 @@ class TestWarmStartEquivalence:
         params=config_variants(),
         seed_params=config_variants(),
     )
-    @settings(max_examples=25, deadline=None, derandomize=True)
+    @settings(max_examples=25, derandomize=True)
     def test_warm_started_runs_agree(self, dataset, params, seed_params):
         index = DatasetIndex(dataset)
         warm = DATE(DateConfig(**seed_params)).run(dataset, index=index)
@@ -240,7 +240,7 @@ class TestWarmStartEquivalence:
         assert_equivalent(ref, vec)
 
     @given(dataset=claim_matrices(), params=config_variants())
-    @settings(max_examples=25, deadline=None, derandomize=True)
+    @settings(max_examples=25, derandomize=True)
     def test_empty_warm_result_is_cold_start(self, dataset, params):
         """An empty warm result must be indistinguishable from no warm
         start on both backends (nothing to carry over)."""
@@ -253,7 +253,7 @@ class TestWarmStartEquivalence:
             assert_equivalent(cold, warm)
 
     @given(dataset=claim_matrices(), params=config_variants())
-    @settings(max_examples=25, deadline=None, derandomize=True)
+    @settings(max_examples=25, derandomize=True)
     def test_warm_result_over_unknown_tasks_only(self, dataset, params):
         """Warm state naming only foreign tasks/workers falls back to
         cold defaults everywhere — on both backends, equivalently."""
@@ -272,7 +272,7 @@ class TestWarmStartEquivalence:
         assert_equivalent(results["reference"], results["vectorized"])
 
     @given(dataset=claim_matrices(), params=config_variants())
-    @settings(max_examples=25, deadline=None, derandomize=True)
+    @settings(max_examples=25, derandomize=True)
     def test_partial_snapshot_warm_start_agrees(self, dataset, params):
         """Snapshot-style warm state (truths for half the tasks, a few
         reputations, including values a task never observed) produces

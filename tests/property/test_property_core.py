@@ -57,7 +57,7 @@ def date_params(draw):
 
 class TestDependenceInvariants:
     @given(dataset=claim_matrices(), params=date_params())
-    @settings(max_examples=40, deadline=None)
+    @settings(max_examples=40)
     def test_posteriors_are_probabilities(self, dataset, params):
         index = DatasetIndex(dataset)
         accuracy = index.initial_accuracy_matrix(0.5)
@@ -71,7 +71,7 @@ class TestDependenceInvariants:
             assert math.isclose(total, 1.0, abs_tol=1e-9)
 
     @given(dataset=claim_matrices(), params=date_params())
-    @settings(max_examples=40, deadline=None)
+    @settings(max_examples=40)
     def test_posteriors_finite(self, dataset, params):
         index = DatasetIndex(dataset)
         accuracy = index.initial_accuracy_matrix(0.9)
@@ -85,7 +85,7 @@ class TestDependenceInvariants:
 
 class TestIndependenceInvariants:
     @given(dataset=claim_matrices(), params=date_params())
-    @settings(max_examples=40, deadline=None)
+    @settings(max_examples=40)
     def test_scores_in_unit_interval_and_anchored(self, dataset, params):
         index = DatasetIndex(dataset)
         accuracy = index.initial_accuracy_matrix(0.5)
@@ -106,7 +106,7 @@ class TestIndependenceInvariants:
 
 class TestPosteriorInvariants:
     @given(dataset=claim_matrices(), epsilon=st.floats(min_value=0.1, max_value=0.9))
-    @settings(max_examples=40, deadline=None)
+    @settings(max_examples=40)
     def test_value_posteriors_normalized(self, dataset, epsilon):
         index = DatasetIndex(dataset)
         accuracy = index.initial_accuracy_matrix(epsilon)
@@ -118,7 +118,7 @@ class TestPosteriorInvariants:
                     assert 0.0 <= p <= 1.0
 
     @given(dataset=claim_matrices(), params=date_params())
-    @settings(max_examples=30, deadline=None)
+    @settings(max_examples=30)
     def test_discounted_posteriors_normalized(self, dataset, params):
         index = DatasetIndex(dataset)
         accuracy = index.initial_accuracy_matrix(0.5)
@@ -134,7 +134,7 @@ class TestPosteriorInvariants:
                 assert math.isclose(sum(table.values()), 1.0, abs_tol=1e-9)
 
     @given(dataset=claim_matrices())
-    @settings(max_examples=30, deadline=None)
+    @settings(max_examples=30)
     def test_accuracy_matrix_bounds_and_sparsity(self, dataset):
         index = DatasetIndex(dataset)
         posteriors = value_posteriors(index, index.initial_accuracy_matrix(0.5))
@@ -150,7 +150,7 @@ class TestPosteriorInvariants:
 
 class TestSupportInvariants:
     @given(dataset=claim_matrices(), params=date_params())
-    @settings(max_examples=30, deadline=None)
+    @settings(max_examples=30)
     def test_support_non_negative_and_truths_observed(self, dataset, params):
         index = DatasetIndex(dataset)
         accuracy = index.initial_accuracy_matrix(0.5)
@@ -173,7 +173,7 @@ class TestSupportInvariants:
 
 class TestEndToEndInvariants:
     @given(dataset=claim_matrices(), params=date_params())
-    @settings(max_examples=20, deadline=None)
+    @settings(max_examples=20)
     def test_date_always_terminates_with_valid_result(self, dataset, params):
         import warnings
 

@@ -27,7 +27,7 @@ def world_params(draw):
 
 class TestGenerateWorldProperties:
     @given(config=world_params(), seed=st.integers(min_value=0, max_value=999))
-    @settings(max_examples=30, deadline=None)
+    @settings(max_examples=30)
     def test_structural_invariants(self, config, seed):
         world = generate_world(config, seed)
         assert world.n_tasks == config.n_tasks
@@ -39,7 +39,7 @@ class TestGenerateWorldProperties:
             assert value in world.task_by_id[task_id].domain
 
     @given(config=world_params(), seed=st.integers(min_value=0, max_value=999))
-    @settings(max_examples=20, deadline=None)
+    @settings(max_examples=20)
     def test_determinism(self, config, seed):
         assert generate_world(config, seed).claims == generate_world(
             config, seed
@@ -52,7 +52,7 @@ class TestInjectCopiersProperties:
         seed=st.integers(min_value=0, max_value=999),
         copy_prob=st.floats(min_value=0.0, max_value=1.0),
     )
-    @settings(max_examples=30, deadline=None)
+    @settings(max_examples=30)
     def test_copier_invariants(self, config, seed, copy_prob):
         world = generate_world(config, seed)
         n_copiers = min(3, config.n_workers - 1)
@@ -72,7 +72,7 @@ class TestInjectCopiersProperties:
                 assert world.claims[(worker_id, task_id)] == value
 
     @given(config=world_params(), seed=st.integers(min_value=0, max_value=999))
-    @settings(max_examples=20, deadline=None)
+    @settings(max_examples=20)
     def test_full_copy_means_subset_of_source_claims(self, config, seed):
         world = generate_world(config, seed)
         injected = inject_copiers(

@@ -54,14 +54,14 @@ def datasets(draw):
 
 class TestDatasetProperties:
     @given(dataset=datasets())
-    @settings(max_examples=40, deadline=None)
+    @settings(max_examples=40)
     def test_views_are_consistent(self, dataset):
         by_task_total = sum(len(v) for v in dataset.claims_by_task.values())
         by_worker_total = sum(len(v) for v in dataset.claims_by_worker.values())
         assert by_task_total == by_worker_total == dataset.n_claims
 
     @given(dataset=datasets())
-    @settings(max_examples=40, deadline=None)
+    @settings(max_examples=40)
     def test_value_groups_partition_claimants(self, dataset):
         for task in dataset.tasks:
             groups = dataset.value_groups(task.task_id)
@@ -69,14 +69,14 @@ class TestDatasetProperties:
             assert sorted(members) == sorted(dataset.claims_by_task[task.task_id])
 
     @given(dataset=datasets())
-    @settings(max_examples=30, deadline=None)
+    @settings(max_examples=30)
     def test_subset_is_idempotent_on_full_sets(self, dataset):
         full = dataset.subset()
         assert full.claims == dataset.claims
         assert full.tasks == dataset.tasks
 
     @given(dataset=datasets())
-    @settings(max_examples=20, deadline=None)
+    @settings(max_examples=20)
     def test_csv_round_trip(self, dataset, tmp_path_factory):
         directory = tmp_path_factory.mktemp("ds")
         save_dataset(dataset, directory)
@@ -88,30 +88,30 @@ class TestDatasetProperties:
 
 class TestLevenshteinProperties:
     @given(a=short_text, b=short_text)
-    @settings(max_examples=100, deadline=None)
+    @settings(max_examples=100)
     def test_symmetry(self, a, b):
         assert levenshtein_distance(a, b) == levenshtein_distance(b, a)
 
     @given(a=short_text, b=short_text)
-    @settings(max_examples=100, deadline=None)
+    @settings(max_examples=100)
     def test_identity_of_indiscernibles(self, a, b):
         distance = levenshtein_distance(a, b)
         assert (distance == 0) == (a == b)
 
     @given(a=short_text, b=short_text, c=short_text)
-    @settings(max_examples=60, deadline=None)
+    @settings(max_examples=60)
     def test_triangle_inequality(self, a, b, c):
         assert levenshtein_distance(a, c) <= levenshtein_distance(
             a, b
         ) + levenshtein_distance(b, c)
 
     @given(a=short_text, b=short_text)
-    @settings(max_examples=100, deadline=None)
+    @settings(max_examples=100)
     def test_bounded_by_longer_string(self, a, b):
         assert levenshtein_distance(a, b) <= max(len(a), len(b))
 
     @given(a=short_text, b=short_text)
-    @settings(max_examples=100, deadline=None)
+    @settings(max_examples=100)
     def test_normalized_in_unit_interval(self, a, b):
         similarity = normalized_levenshtein(a, b)
         assert 0.0 <= similarity <= 1.0
@@ -125,7 +125,7 @@ class TestStringSimilarityProperties:
             ["cosine", "euclidean", "pearson", "asymmetric", "levenshtein"]
         ),
     )
-    @settings(max_examples=60, deadline=None)
+    @settings(max_examples=60)
     def test_range_and_identity(self, a, b, measure):
         sim = string_similarity(measure)
         assert sim(a, a) == 1.0
@@ -140,7 +140,7 @@ class TestStatsProperties:
             max_size=30,
         )
     )
-    @settings(max_examples=80, deadline=None)
+    @settings(max_examples=80)
     def test_summary_invariants(self, values):
         stats = summarize(values)
         # Allow a few ulps of slack: the mean of identical floats can

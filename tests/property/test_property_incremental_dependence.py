@@ -67,7 +67,7 @@ def _assert_bitwise(got, want) -> None:
 
 class TestRefreshExactness:
     @given(campaign=streamed_campaigns(), seed=st.integers(0, 2**16))
-    @settings(max_examples=40, deadline=None, derandomize=True)
+    @settings(max_examples=40, derandomize=True)
     def test_edit_sequence_matches_full_recompute_bitwise(self, campaign, seed):
         dataset, _ = campaign
         index = DatasetIndex(dataset)
@@ -96,7 +96,7 @@ class TestRefreshExactness:
                 acc[c0:c1] = rng.uniform(0.05, 0.95, c1 - c0)
 
     @given(campaign=streamed_campaigns(), seed=st.integers(0, 2**16))
-    @settings(max_examples=20, deadline=None, derandomize=True)
+    @settings(max_examples=20, derandomize=True)
     def test_explicit_touched_set_matches_diffing(self, campaign, seed):
         dataset, _ = campaign
         index = DatasetIndex(dataset)
@@ -125,7 +125,7 @@ class TestRefreshExactness:
 
 class TestRebindExactness:
     @given(campaign=streamed_campaigns(), n_batches=st.integers(2, 4))
-    @settings(max_examples=30, deadline=None, derandomize=True)
+    @settings(max_examples=30, derandomize=True)
     def test_rebind_across_extensions_matches_cold_engine(
         self, campaign, n_batches
     ):
@@ -174,7 +174,7 @@ class TestRebindExactness:
             )
 
     @given(campaign=streamed_campaigns())
-    @settings(max_examples=20, deadline=None, derandomize=True)
+    @settings(max_examples=20, derandomize=True)
     def test_online_snapshot_and_stable_subruns_exact(self, campaign):
         dataset, batches = campaign
         tracked = OnlineDATE(track_dependence=True)
@@ -203,7 +203,7 @@ class TestRebindExactness:
 
 class TestStableDependenceRuns:
     @given(campaign=streamed_campaigns())
-    @settings(max_examples=30, deadline=None, derandomize=True)
+    @settings(max_examples=30, derandomize=True)
     def test_stable_dependence_run_is_bit_identical(self, campaign):
         dataset, _ = campaign
         plain = DATE(DateConfig()).run(dataset)

@@ -76,7 +76,7 @@ class TestChainCopiers:
         n_chains=st.integers(min_value=1, max_value=3),
         chain_length=st.integers(min_value=2, max_value=4),
     )
-    @settings(max_examples=25, deadline=None)
+    @settings(max_examples=25)
     def test_no_dependence_loop(self, world, seed, n_chains, chain_length):
         if n_chains * chain_length > world.n_workers:
             n_chains, chain_length = 1, 2
@@ -96,7 +96,7 @@ class TestChainCopiers:
             assert worker.sources == (label.detail["source"],)
 
     @given(world=small_world(), seed=st.integers(min_value=0, max_value=999))
-    @settings(max_examples=15, deadline=None)
+    @settings(max_examples=15)
     def test_chain_is_transitive_not_a_star(self, world, seed):
         """Depth-2 copiers source from the depth-1 copier, not the root."""
         transformed = apply_strategies(
@@ -110,7 +110,7 @@ class TestChainCopiers:
 
 class TestCollusionRing:
     @given(world=small_world(), seed=st.integers(min_value=0, max_value=999))
-    @settings(max_examples=25, deadline=None)
+    @settings(max_examples=25)
     def test_leader_hidden_from_claim_graph(self, world, seed):
         transformed = apply_strategies(world, (CollusionRing(ring_size=3),), seed)
         dataset = transformed.dataset
@@ -136,7 +136,7 @@ class TestSybilAmplification:
         seed=st.integers(min_value=0, max_value=999),
         clones=st.integers(min_value=1, max_value=4),
     )
-    @settings(max_examples=25, deadline=None)
+    @settings(max_examples=25)
     def test_clones_preserve_claim_counts(self, world, seed, clones):
         transformed = apply_strategies(
             world,
@@ -158,7 +158,7 @@ class TestSybilAmplification:
 
 class TestTransformPurity:
     @given(world=small_world(), seed=st.integers(min_value=0, max_value=999))
-    @settings(max_examples=10, deadline=None)
+    @settings(max_examples=10)
     def test_pure_function_of_dataset_and_seed(self, world, seed):
         """Same (dataset, seed) ⇒ identical dataset, for every transform."""
         for strategy in ALL_STRATEGIES:
@@ -170,7 +170,7 @@ class TestTransformPurity:
             assert first.labels == second.labels
 
     @given(world=small_world(), seed=st.integers(min_value=0, max_value=999))
-    @settings(max_examples=10, deadline=None)
+    @settings(max_examples=10)
     def test_stack_never_corrupts_earlier_footprints(self, world, seed):
         """Later strategies leave earlier strategies' workers alone.
 
@@ -203,7 +203,7 @@ class TestTransformPurity:
             )
 
     @given(world=small_world(), seed=st.integers(min_value=0, max_value=999))
-    @settings(max_examples=10, deadline=None)
+    @settings(max_examples=10)
     def test_stack_purity_and_input_immutability(self, world, seed):
         """Stacks are pure too, and never mutate the input dataset."""
         before = dict(world.claims)
@@ -221,7 +221,7 @@ class TestTransformPurity:
 
 class TestHeterogeneousDomains:
     @given(seed=st.integers(min_value=0, max_value=999))
-    @settings(max_examples=15, deadline=None)
+    @settings(max_examples=15)
     def test_copy_strategies_survive_uneven_domain_sizes(self, seed):
         """Transforms work on datasets whose tasks have different
         domain sizes (e.g. CSV campaigns with inferred domains)."""
@@ -257,7 +257,7 @@ class TestHeterogeneousDomains:
 
 class TestLazyAndShading:
     @given(world=small_world(), seed=st.integers(min_value=0, max_value=999))
-    @settings(max_examples=15, deadline=None)
+    @settings(max_examples=15)
     def test_lazy_workers_keep_participation(self, world, seed):
         transformed = apply_strategies(world, (LazyWorkers(n_workers=3),), seed)
         for label in transformed.labels_for("spammer"):
@@ -266,7 +266,7 @@ class TestLazyAndShading:
             ) == set(world.claims_by_worker[label.worker_id])
 
     @given(world=small_world(), seed=st.integers(min_value=0, max_value=999))
-    @settings(max_examples=15, deadline=None)
+    @settings(max_examples=15)
     def test_bid_shading_touches_only_bids(self, world, seed):
         transformed = apply_strategies(world, (BidShading(n_workers=3),), seed)
         assert transformed.dataset.claims == world.claims

@@ -104,14 +104,14 @@ def assert_index_equivalent(grown: DatasetIndex, cold: DatasetIndex) -> None:
 
 class TestIncrementalIndexEquivalence:
     @given(campaign=streamed_campaigns())
-    @settings(max_examples=60, deadline=None, derandomize=True)
+    @settings(max_examples=60, derandomize=True)
     def test_grown_index_matches_cold_rebuild(self, campaign):
         dataset, batches = campaign
         grown = grow_through_extensions(batches)
         assert_index_equivalent(grown, DatasetIndex(dataset))
 
     @given(campaign=streamed_campaigns())
-    @settings(max_examples=30, deadline=None, derandomize=True)
+    @settings(max_examples=30, derandomize=True)
     def test_replay_batches_cover_exactly(self, campaign):
         dataset, _ = campaign
         batches = replay_batches(dataset, 3)
@@ -142,7 +142,7 @@ class TestIncrementalIndexEquivalence:
 
 class TestOnlineEquivalence:
     @given(campaign=streamed_campaigns())
-    @settings(max_examples=30, deadline=None, derandomize=True)
+    @settings(max_examples=30, derandomize=True)
     def test_refreshed_online_matches_cold_run(self, campaign):
         dataset, batches = campaign
         online = OnlineDATE()
@@ -164,7 +164,7 @@ class TestOnlineEquivalence:
     @given(campaign=streamed_campaigns(), backend=st.sampled_from(
         ["reference", "vectorized"]
     ))
-    @settings(max_examples=20, deadline=None, derandomize=True)
+    @settings(max_examples=20, derandomize=True)
     def test_refresh_exact_on_both_backends(self, campaign, backend):
         dataset, batches = campaign
         config = DateConfig(backend=backend)

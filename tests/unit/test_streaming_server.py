@@ -148,6 +148,33 @@ class TestStreamingApp:
         status, body = app.handle("POST", "/campaigns", {})
         assert status == 400
 
+    def test_empty_store_not_discarded(self):
+        # CampaignStore defines __len__, so a configured-but-empty
+        # store is falsy; the app must still adopt it (`store or ...`
+        # silently replaced it with a default store once).
+        configured = CampaignStore(algorithm="FDS", refresh_every=3)
+        app = StreamingApp(configured)
+        assert app.store is configured
+        status, body = app.handle(
+            "POST", "/campaigns", {"campaign_id": "c1"}
+        )
+        assert status == 201
+        assert body["algorithm"] == "FDS"
+
+    def test_per_campaign_algorithm(self, app):
+        status, body = app.handle(
+            "POST", "/campaigns", {"campaign_id": "c1", "algorithm": "lca"}
+        )
+        assert status == 201 and body["algorithm"] == "LCA"
+        status, body = app.handle(
+            "POST", "/campaigns", {"campaign_id": "c2", "algorithm": None}
+        )
+        assert status == 201 and body["algorithm"] == "DATE"
+        status, body = app.handle(
+            "POST", "/campaigns", {"campaign_id": "bad", "algorithm": "nope"}
+        )
+        assert status == 400
+
     def test_duplicate_create_conflicts(self, app):
         app.handle("POST", "/campaigns", {"campaign_id": "c1"})
         status, body = app.handle("POST", "/campaigns", {"campaign_id": "c1"})
