@@ -19,11 +19,17 @@ Subcommands:
   copier fraction sweeps;
 - ``repro auction <dir> [--cap F]`` — run the full IMC2 mechanism on a
   CSV dataset and print winners and payments;
-- ``repro serve [--host H] [--port P] [--refresh-every N]`` — run the
-  streaming truth-discovery HTTP service;
+- ``repro serve [--host H] [--port P] [--refresh-every N]
+  [--journal-dir DIR]`` — run the streaming truth-discovery HTTP
+  service; with ``--journal-dir`` every campaign is write-ahead
+  journaled and replayed after a crash (DESIGN.md §15), and SIGTERM
+  shuts down gracefully (drain, flush, exit 0);
+- ``repro recover --journal-dir DIR`` — replay the ingest journals
+  offline and print per-campaign recovery reports;
 - ``repro ingest <dir> [--batches N] [--url URL]`` — replay an archived
   CSV campaign as a claim-batch stream, either through an in-process
-  online estimator or against a running ``repro serve`` instance;
+  online estimator or against a running ``repro serve`` instance (the
+  remote path retries with backoff and exactly-once sequence numbers);
 - ``repro scenario list`` — show every registered adversarial scenario;
 - ``repro scenario run <name> [--instances N] [--seed S]
   [--parallel N] [--cache] [--store DIR]`` — run one adversarial
@@ -58,7 +64,6 @@ import time
 import urllib.error
 import urllib.request
 from pathlib import Path
-from urllib.parse import quote
 
 from .artifacts import LedgerError, RunLedger
 from .core.config import DateConfig
@@ -83,7 +88,13 @@ from .reporting.export import write_csv, write_json
 from .reporting.figures import render_chart
 from .reporting.tables import format_table, render_result_table
 from .scenarios import get_scenario, list_scenarios, run_scenario
-from .streaming import CampaignStore, OnlineDATE, batch_to_json, replay_batches, serve
+from .streaming import (
+    CampaignStore,
+    OnlineDATE,
+    StreamingClient,
+    replay_batches,
+    serve,
+)
 
 __all__ = ["main"]
 
@@ -296,6 +307,44 @@ def _build_parser() -> argparse.ArgumentParser:
         "(per-campaign override via the create payload)",
     )
     server.add_argument("--quiet", action="store_true", help="suppress access logs")
+    server.add_argument(
+        "--journal-dir",
+        type=Path,
+        default=None,
+        help="write-ahead journal directory: campaign creation and every "
+        "claim batch are fsync'd here before they are applied, and a "
+        "restarted server replays them back to the pre-crash state",
+    )
+    server.add_argument(
+        "--store",
+        type=Path,
+        default=None,
+        help="run-ledger directory for banked refresh snapshots (speeds "
+        "up recovery; default: no ledger)",
+    )
+
+    recover = sub.add_parser(
+        "recover",
+        help="replay ingest journals offline and print recovery reports",
+    )
+    recover.add_argument(
+        "--journal-dir",
+        type=Path,
+        required=True,
+        help="journal directory written by 'repro serve --journal-dir'",
+    )
+    recover.add_argument(
+        "--store",
+        type=Path,
+        default=None,
+        help="run-ledger directory with banked refresh snapshots "
+        "(recovery adopts matching snapshots instead of recomputing)",
+    )
+    recover.add_argument(
+        "--json",
+        action="store_true",
+        help="print the recovery reports as JSON",
+    )
 
     ingest = sub.add_parser(
         "ingest", help="replay a CSV campaign as a claim-batch stream"
@@ -651,31 +700,57 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         refresh_every=args.refresh_every,
         max_campaigns=args.max_campaigns,
         algorithm=args.algorithm,
+        ledger=RunLedger(args.store) if args.store is not None else None,
+        journal_dir=args.journal_dir,
     )
+    if store.last_recovery:
+        recovered = sum(
+            1 for r in store.last_recovery if r["status"] == "recovered"
+        )
+        print(
+            f"recovered {recovered} campaign(s) from "
+            f"{args.journal_dir} before serving",
+            flush=True,
+        )
     serve(args.host, args.port, store=store, quiet=args.quiet)
     return 0
 
 
-def _http_json(method: str, url: str, payload: dict | None = None) -> dict:
-    """One JSON request against a running service; raises SystemExit on
-    a non-2xx answer with the server's error message."""
-    data = json.dumps(payload).encode() if payload is not None else None
-    request = urllib.request.Request(
-        url, data=data, method=method, headers={"Content-Type": "application/json"}
+def _cmd_recover(args: argparse.Namespace) -> int:
+    store = CampaignStore(
+        ledger=RunLedger(args.store) if args.store is not None else None,
+        journal_dir=args.journal_dir,
     )
-    try:
-        with urllib.request.urlopen(request) as response:
-            return json.loads(response.read())
-    except urllib.error.HTTPError as exc:
-        try:
-            detail = json.loads(exc.read()).get("error", "")
-        except Exception:
-            detail = ""
-        raise SystemExit(f"{method} {url} failed ({exc.code}): {detail}") from exc
-    except urllib.error.URLError as exc:
-        raise SystemExit(
-            f"{method} {url} failed: {exc.reason} (is 'repro serve' running?)"
-        ) from exc
+    reports = store.last_recovery
+    store.close()
+    if args.json:
+        print(json.dumps(reports, indent=2, sort_keys=True))
+        return 0
+    if not reports:
+        print(f"no journals found in {args.journal_dir}")
+        return 0
+    rows = [
+        [
+            r["campaign_id"],
+            r["status"],
+            r.get("batches", ""),
+            r.get("claims", ""),
+            r.get("refreshes", ""),
+            r.get("snapshot_hits", ""),
+            "yes" if r.get("torn") else "",
+            f"{r.get('seconds', 0.0):.3f}",
+        ]
+        for r in reports
+    ]
+    print(format_table(
+        ["campaign", "status", "batches", "claims",
+         "refreshes", "snapshot hits", "torn tail", "seconds"],
+        rows,
+    ))
+    bad = [r for r in reports if r["status"] == "corrupt"]
+    for r in bad:
+        print(f"\ncorrupt journal for {r['campaign_id']!r}: {r['error']}")
+    return 1 if bad else 0
 
 
 def _cmd_ingest(args: argparse.Namespace) -> int:
@@ -708,36 +783,45 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
             return final.truths, final.iterations
 
     else:
-        base = args.url.rstrip("/")
-        encoded_id = quote(campaign_id, safe="")
-        where = f" on {base}"
-        _http_json(
-            "POST",
-            f"{base}/campaigns",
-            {
-                "campaign_id": campaign_id,
-                "refresh_every": args.refresh_every,
-                "algorithm": args.algorithm,
-                "config": {
+        # The remote path goes through the retrying client: timeouts,
+        # backoff against a recovering server, and client-assigned
+        # sequence numbers so a retried batch is applied exactly once.
+        client = StreamingClient(args.url)
+        where = f" on {client.base_url}"
+        try:
+            client.create_campaign(
+                campaign_id,
+                refresh_every=args.refresh_every,
+                algorithm=args.algorithm,
+                config={
                     "r": args.r, "alpha": args.alpha, "epsilon": args.epsilon
                 },
-            },
-        )
+            )
+        except ReproError as exc:
+            raise SystemExit(str(exc)) from exc
 
         def apply(batch) -> dict:
-            return _http_json(
-                "POST",
-                f"{base}/campaigns/{encoded_id}/claims",
-                batch_to_json(batch, include_truth=True),
-            )
+            try:
+                reply = client.ingest(campaign_id, batch)
+            except ReproError as exc:
+                raise SystemExit(str(exc)) from exc
+            if reply.get("duplicate"):
+                # A retried batch the server had already applied: the
+                # stream is intact, there is just nothing new to report.
+                return {
+                    "batch": reply.get("seq", 0), "new_tasks": 0,
+                    "new_workers": 0, "new_claims": 0, "dirty_tasks": 0,
+                    "iterations": 0, "refreshed": False,
+                }
+            return reply
 
         def finalize(already_refreshed: bool):
-            if already_refreshed:
-                reply = _http_json(
-                    "GET", f"{base}/campaigns/{encoded_id}/truths"
-                )
-                return reply["truths"], None
-            reply = _http_json("POST", f"{base}/campaigns/{encoded_id}/refresh")
+            try:
+                if already_refreshed:
+                    return client.truths(campaign_id)["truths"], None
+                reply = client.refresh(campaign_id)
+            except ReproError as exc:
+                raise SystemExit(str(exc)) from exc
             return reply["truths"], reply["iterations"]
 
     key = {
@@ -1030,6 +1114,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_auction(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "recover":
+        return _cmd_recover(args)
     if args.command == "ingest":
         return _cmd_ingest(args)
     if args.command == "scenario":

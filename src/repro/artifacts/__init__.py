@@ -31,6 +31,7 @@ from .ledger import (
     RunLedger,
     cached_result,
     default_store_path,
+    snapshot_fingerprint,
 )
 from .serialize import truth_result_from_payload, truth_result_to_payload
 
@@ -47,6 +48,7 @@ __all__ = [
     "canonical_json",
     "default_store_path",
     "fingerprint",
+    "snapshot_fingerprint",
     "truth_result_from_payload",
     "truth_result_to_payload",
 ]

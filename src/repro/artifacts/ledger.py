@@ -59,6 +59,7 @@ __all__ = [
     "RunLedger",
     "cached_result",
     "default_store_path",
+    "snapshot_fingerprint",
 ]
 
 #: Artifact namespaces, in display order.
@@ -135,6 +136,17 @@ def result_fingerprint(key: RunKey) -> str:
     )
 
 
+def snapshot_fingerprint(payload: Any) -> str:
+    """The content fingerprint of one streaming refresh snapshot.
+
+    Module-level so the streaming journal can stamp refresh records
+    with the exact fingerprint the ledger would store the snapshot
+    under — recovery compares the two to decide whether a banked
+    refresh may be adopted mid-replay (DESIGN.md §15).
+    """
+    return fingerprint({"kind": "snapshot", "config": canonical(payload)})
+
+
 @dataclass
 class LedgerStats:
     """Per-process cache counters (reset with :meth:`RunLedger.reset_stats`)."""
@@ -193,7 +205,7 @@ class RunLedger:
         return result_fingerprint(key)
 
     def snapshot_fingerprint(self, payload: Any) -> str:
-        return fingerprint({"kind": "snapshot", "config": canonical(payload)})
+        return snapshot_fingerprint(payload)
 
     # -- rows ------------------------------------------------------------
 
@@ -257,6 +269,16 @@ class RunLedger:
     def get_snapshot(self, snapshot_key: Any) -> dict | None:
         """A persisted campaign refresh snapshot, or ``None``."""
         entry = self._read("snapshots", self.snapshot_fingerprint(snapshot_key))
+        return None if entry is None else entry["body"]
+
+    def get_snapshot_fp(self, fp: str) -> dict | None:
+        """A snapshot by its already-computed fingerprint, or ``None``.
+
+        Journal recovery already holds the fingerprint (the refresh
+        record carries it), so this skips re-canonicalizing the whole
+        campaign content just to re-derive a digest it has.
+        """
+        entry = self._read("snapshots", fp)
         return None if entry is None else entry["body"]
 
     def put_snapshot(self, snapshot_key: Any, body: Mapping[str, Any]) -> str:

@@ -359,6 +359,31 @@ class MetricsRegistry:
                 family.series[key] = instrument
         return instrument
 
+    def drop_labels(self, label: str, value: str) -> int:
+        """Drop every series whose ``label`` equals ``value``; return count.
+
+        Per-entity labels (``campaign=...``) leak series when entities
+        are evicted: a long-lived server would export counters for
+        campaigns that no longer exist and its label cardinality would
+        grow without bound.  Callers retiring an entity drop its series
+        here; families themselves stay registered (an empty family
+        exports nothing).
+        """
+        value = str(value)
+        dropped = 0
+        with self._lock:
+            for family in self._families.values():
+                if label not in family.label_names:
+                    continue
+                idx = family.label_names.index(label)
+                doomed = [
+                    key for key in family.series if key[idx] == value
+                ]
+                for key in doomed:
+                    del family.series[key]
+                dropped += len(doomed)
+        return dropped
+
     # -- reading ---------------------------------------------------------
 
     def collect(self) -> list[_Family]:

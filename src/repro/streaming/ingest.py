@@ -213,8 +213,20 @@ def batch_from_json(payload: Mapping) -> ClaimBatch:
     )
 
 
-def batch_to_json(batch: ClaimBatch, *, include_truth: bool = False) -> dict:
-    """Encode a batch into the wire format accepted by the server."""
+def batch_to_json(
+    batch: ClaimBatch,
+    *,
+    include_truth: bool = False,
+    sort_claims: bool = True,
+) -> dict:
+    """Encode a batch into the wire format accepted by the server.
+
+    ``sort_claims=False`` keeps the batch's claim arrival order — the
+    write-ahead journal needs it so a replayed batch builds the same
+    claims dict the estimator saw live (dict order feeds the index
+    extension); the HTTP wire format keeps the sorted default for
+    stable, diffable request bodies.
+    """
     tasks = []
     for task in batch.tasks:
         spec: dict = {"task_id": task.task_id}
@@ -236,8 +248,9 @@ def batch_to_json(batch: ClaimBatch, *, include_truth: bool = False) -> dict:
         }
         for worker in batch.workers
     ]
+    items = sorted(batch.claims.items()) if sort_claims else batch.claims.items()
     claims = [
         {"worker": worker_id, "task": task_id, "value": value}
-        for (worker_id, task_id), value in sorted(batch.claims.items())
+        for (worker_id, task_id), value in items
     ]
     return {"tasks": tasks, "workers": workers, "claims": claims}

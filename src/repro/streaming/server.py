@@ -9,17 +9,22 @@ and the handler class only parses/serializes JSON.
 Routes (all bodies JSON unless noted):
 
 - ``GET  /health`` — liveness + campaign count;
-- ``GET  /healthz`` — liveness + uptime (Kubernetes-style probe);
+- ``GET  /healthz`` — liveness + uptime + recovery state
+  (Kubernetes-style probe; ``status`` is ``"recovering"`` while a
+  journal replay is still pending);
 - ``GET  /metrics`` — Prometheus text exposition of the process
   metrics registry (plain text, not JSON);
 - ``GET  /campaigns`` — list campaign summaries;
 - ``POST /campaigns`` — create: ``{"campaign_id": ..., "tasks": [...],
   "workers": [...], "config": {...}, "refresh_every": N}``;
 - ``GET  /campaigns/<id>`` — summary + current estimates;
-- ``DELETE /campaigns/<id>`` — evict;
+- ``DELETE /campaigns/<id>`` — evict (a durable delete: the campaign's
+  journal goes with it);
 - ``POST /campaigns/<id>/claims`` — ingest a claim batch
   (``{"tasks": [...], "workers": [...], "claims": [{"worker": ...,
-  "task": ..., "value": ...}]}``);
+  "task": ..., "value": ...}], "seq": N}``; the optional ``seq`` is the
+  client-assigned batch sequence number that makes retries exactly-once
+  — a replayed duplicate answers 200 with ``"duplicate": true``);
 - ``GET  /campaigns/<id>/truths`` — current truths + confidence;
 - ``GET  /campaigns/<id>/workers`` — worker reputations;
 - ``POST /campaigns/<id>/refresh`` — force a full re-estimation;
@@ -28,12 +33,17 @@ Routes (all bodies JSON unless noted):
   same payments either way).
 
 Errors map onto status codes: malformed input and infeasible auctions
-are 400, unknown campaigns/routes 404, duplicate campaigns 409.
+are 400, unknown campaigns/routes 404, duplicate campaigns 409, and
+degradation is 503 with a ``Retry-After`` header — either the campaign
+is still replaying its journal, or the journal disk rejected a write
+(the batch was NOT applied; retrying the same ``seq`` is safe).
 """
 
 from __future__ import annotations
 
 import json
+import signal
+import threading
 import time
 from dataclasses import asdict
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -45,8 +55,14 @@ from ..errors import ReproError
 from ..obs.exposition import CONTENT_TYPE, render_prometheus
 from ..obs.logging import get_logger
 from ..obs.metrics import get_registry
-from .campaign import CampaignStore, DuplicateCampaignError, UnknownCampaignError
+from .campaign import (
+    CampaignRecoveringError,
+    CampaignStore,
+    DuplicateCampaignError,
+    UnknownCampaignError,
+)
 from .ingest import batch_from_json, coerce_number, task_from_spec, worker_from_spec
+from .journal import JournalWriteError
 
 __all__ = ["StreamingApp", "config_from_spec", "make_server", "serve"]
 
@@ -57,6 +73,11 @@ _CONFIG_ALIASES = {
     "alpha": "prior_alpha",
     "epsilon": "initial_accuracy",
 }
+
+#: Per-connection socket timeout: a stalled peer (or a half-open
+#: connection left by a killed client) releases its handler thread
+#: instead of pinning it forever.
+DEFAULT_REQUEST_TIMEOUT = 30.0
 
 
 def config_from_spec(spec: dict | None, base: DateConfig) -> DateConfig:
@@ -103,6 +124,9 @@ class StreamingApp:
         for every route except ``/metrics``, whose body is the
         exposition text (``str``).  Request latency and counts land in
         the registry per (method, route template, status).
+
+        A 503 body carries ``retry_after`` (seconds); the HTTP handler
+        surfaces it as a ``Retry-After`` header.
         """
         path = path.partition("?")[0]
         parts = [unquote(part) for part in path.split("/") if part]
@@ -119,6 +143,15 @@ class StreamingApp:
                 }
             except DuplicateCampaignError as exc:
                 status, body = 409, {"error": str(exc)}
+            except CampaignRecoveringError as exc:
+                status, body = 503, {
+                    "error": str(exc),
+                    "retry_after": exc.retry_after,
+                }
+            except JournalWriteError as exc:
+                # The batch was NOT applied (append rolls back or the
+                # journal refuses): the client may retry the same seq.
+                status, body = 503, {"error": str(exc), "retry_after": 1.0}
             except ReproError as exc:
                 status, body = 400, {"error": str(exc)}
         if registry.enabled:
@@ -141,10 +174,13 @@ class StreamingApp:
         if parts == ["metrics"] and method == "GET":
             return 200, render_prometheus(get_registry())
         if parts == ["healthz"] and method == "GET":
+            recovering = self.store.recovering
             return 200, {
-                "status": "ok",
+                "status": "recovering" if recovering else "ok",
+                "recovering": recovering,
                 "uptime_seconds": round(time.time() - self.started_at, 3),
                 "campaigns": len(self.store),
+                "journaled": self.store.journal_dir is not None,
                 "metrics_enabled": get_registry().enabled,
             }
         if parts in ([], ["health"]) and method == "GET":
@@ -210,8 +246,15 @@ class StreamingApp:
         return 201, campaign.describe()
 
     def _ingest(self, campaign_id: str, payload: dict):
+        seq = payload.get("seq")
+        if seq is not None:
+            seq = int(coerce_number(payload, "seq", 0))
         batch = batch_from_json(payload)
-        update = self.store.ingest(campaign_id, batch)
+        update = self.store.ingest(campaign_id, batch, seq=seq)
+        if update is None:
+            # The batch with this seq was already journaled and applied
+            # — the retry of an ingest whose acknowledgement was lost.
+            return 200, {"duplicate": True, "seq": seq}
         return 200, asdict(update)
 
     def _auction(self, campaign_id: str, payload: dict):
@@ -241,6 +284,7 @@ class _Handler(BaseHTTPRequestHandler):
     app: StreamingApp  # set by make_server on the subclass
     quiet = True
     protocol_version = "HTTP/1.1"
+    timeout = DEFAULT_REQUEST_TIMEOUT  # per-connection socket timeout
 
     def _respond(self) -> None:
         length = int(self.headers.get("Content-Length") or 0)
@@ -267,8 +311,16 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(data)))
+        if status == 503:
+            retry_after = 1.0
+            if isinstance(body, dict):
+                retry_after = float(body.get("retry_after") or 1.0)
+            self.send_header("Retry-After", str(max(1, round(retry_after))))
         self.end_headers()
         self.wfile.write(data)
+
+    def handle_timeout(self) -> None:  # pragma: no cover - needs stalled peer
+        self.close_connection = True
 
     do_GET = do_POST = do_DELETE = _respond
 
@@ -279,16 +331,34 @@ class _Handler(BaseHTTPRequestHandler):
             )
 
 
+class GracefulHTTPServer(ThreadingHTTPServer):
+    """Threading server whose ``server_close`` drains in-flight requests.
+
+    ``daemon_threads=False`` + ``block_on_close=True`` make
+    ``server_close()`` join every live handler thread, so a graceful
+    shutdown answers the requests it already accepted before the
+    process exits — nothing is dropped mid-body.
+    """
+
+    daemon_threads = False
+    block_on_close = True
+
+
 def make_server(
     app: StreamingApp,
     host: str = "127.0.0.1",
     port: int = 0,
     *,
     quiet: bool = True,
+    request_timeout: float = DEFAULT_REQUEST_TIMEOUT,
 ) -> ThreadingHTTPServer:
     """Bind ``app`` to a threading HTTP server (port 0 = ephemeral)."""
-    handler = type("BoundHandler", (_Handler,), {"app": app, "quiet": quiet})
-    return ThreadingHTTPServer((host, port), handler)
+    handler = type(
+        "BoundHandler",
+        (_Handler,),
+        {"app": app, "quiet": quiet, "timeout": request_timeout},
+    )
+    return GracefulHTTPServer((host, port), handler)
 
 
 def serve(
@@ -297,12 +367,19 @@ def serve(
     *,
     store: CampaignStore | None = None,
     quiet: bool = False,
+    install_signal_handlers: bool = True,
 ) -> None:
     """Run the service until interrupted (the ``repro serve`` entry).
 
     Serving enables the process metrics registry — a live service
     without ``/metrics`` data would be pointless — and logs structured
     JSON lines instead of bare prints.
+
+    SIGTERM and SIGINT shut down gracefully: the listener stops
+    accepting, in-flight requests drain to completion, every campaign
+    journal is flushed and closed, and the process exits 0.  (A
+    ``kill -9`` skips all of that by design — which is exactly what
+    the write-ahead journal exists to survive.)
     """
     get_registry().enable()
     log = get_logger("repro.serve")
@@ -318,9 +395,31 @@ def serve(
     # Keep the one human-facing line on stdout: scripts (and the CI
     # smoke job) grep it to learn the bound ephemeral port.
     print(f"repro streaming service on http://{bound_host}:{bound_port}", flush=True)
+
+    stop_requested = threading.Event()
+
+    def _request_stop(signum, frame):  # pragma: no cover - signal path
+        if stop_requested.is_set():
+            return
+        stop_requested.set()
+        log.info("shutdown requested", signal=int(signum))
+        # shutdown() blocks until serve_forever returns — calling it
+        # from the signal handler (which runs on the serving thread)
+        # would deadlock, so hand it to a helper thread.
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    previous_handlers = {}
+    if install_signal_handlers and threading.current_thread() is threading.main_thread():
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            previous_handlers[signum] = signal.signal(signum, _request_stop)
     try:
         server.serve_forever()
-    except KeyboardInterrupt:
+    except KeyboardInterrupt:  # Ctrl-C without our SIGINT handler
         log.info("shutting down")
     finally:
-        server.server_close()
+        for signum, handler in previous_handlers.items():
+            signal.signal(signum, handler)
+        server.server_close()  # drains in-flight handler threads
+        if app.store is not None:
+            app.store.close()  # flush + close every campaign journal
+        log.info("shutdown complete")

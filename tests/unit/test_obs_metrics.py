@@ -253,3 +253,46 @@ class TestPrometheusExposition:
         text = render_prometheus(registry)
         assert text.endswith("\n")
         assert not text.endswith("\n\n")
+
+
+class TestDropLabels:
+    """Series retirement: evicted entities must not leak label cardinality."""
+
+    def test_drops_every_series_matching_the_label_value(self):
+        registry = MetricsRegistry(enabled=True)
+        registry.counter("ingests", labels={"campaign": "a"}).inc()
+        registry.counter("ingests", labels={"campaign": "b"}).inc()
+        registry.timer("latency", labels={"campaign": "a"}).observe(0.1)
+        dropped = registry.drop_labels("campaign", "a")
+        assert dropped == 2
+        remaining = {
+            instrument.labels["campaign"]
+            for family in registry.collect()
+            for instrument in family.series.values()
+            if "campaign" in instrument.labels
+        }
+        assert remaining == {"b"}
+
+    def test_families_without_the_label_are_untouched(self):
+        registry = MetricsRegistry(enabled=True)
+        registry.counter("total").inc()
+        registry.counter("by_route", labels={"route": "/x"}).inc()
+        assert registry.drop_labels("campaign", "a") == 0
+        assert registry.counter("total").value == 1.0
+
+    def test_dropped_series_restart_from_zero(self):
+        registry = MetricsRegistry(enabled=True)
+        registry.counter("ingests", labels={"campaign": "a"}).inc(5)
+        registry.drop_labels("campaign", "a")
+        # A recreated campaign with the same id gets a fresh series.
+        assert registry.counter("ingests", labels={"campaign": "a"}).value == 0.0
+
+    def test_dropped_series_vanish_from_exposition(self):
+        registry = MetricsRegistry(enabled=True)
+        registry.counter("ingests", labels={"campaign": "gone"}).inc()
+        registry.drop_labels("campaign", "gone")
+        assert 'campaign="gone"' not in render_prometheus(registry)
+
+    def test_disabled_registry_drop_is_a_harmless_no_op(self):
+        registry = MetricsRegistry(enabled=False)
+        assert registry.drop_labels("campaign", "a") == 0

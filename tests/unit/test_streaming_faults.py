@@ -1,0 +1,152 @@
+"""Fault-injector semantics: rules, counting, seeding, env activation.
+
+The injector is the scaffolding the kill-and-recover differential
+suite stands on (DESIGN.md §15), so its own contract is pinned here:
+rule parsing, nth-pass counting under threads, deterministic partial
+cuts, and the inert-by-default guarantee that keeps production paths
+fault-free.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.streaming.faults import (
+    FAULT_POINTS,
+    FaultInjector,
+    FaultRule,
+    InjectedCrash,
+    get_injector,
+    set_injector,
+)
+
+
+@pytest.fixture(autouse=True)
+def _isolate_process_injector():
+    previous = set_injector(None)
+    yield
+    set_injector(previous)
+
+
+class TestRuleParsing:
+    def test_from_spec_parses_point_action_nth(self):
+        injector = FaultInjector.from_spec(
+            "journal.post_append:crash@3, store.mid_refresh:ioerror"
+        )
+        assert injector.active
+        for _ in range(2):
+            injector.fire("journal.post_append")  # passes 1 and 2: inert
+        with pytest.raises(InjectedCrash):
+            injector.fire("journal.post_append")
+        with pytest.raises(OSError):
+            injector.fire("store.mid_refresh")
+
+    def test_empty_spec_is_inert(self):
+        injector = FaultInjector.from_spec("")
+        assert not injector.active
+        for point in FAULT_POINTS:
+            injector.fire(point)
+        assert injector.fired == []
+
+    def test_malformed_specs_are_rejected(self):
+        for spec in ("nocolon", "point:", ":action", "p:crash@x", "p:frob"):
+            with pytest.raises(ConfigurationError):
+                FaultInjector.from_spec(spec)
+
+    def test_rule_validates_action_and_nth(self):
+        with pytest.raises(ConfigurationError):
+            FaultRule(point="p", action="explode")
+        with pytest.raises(ConfigurationError):
+            FaultRule(point="p", action="crash", nth=0)
+
+
+class TestFiring:
+    def test_crash_carries_its_point(self):
+        injector = FaultInjector.from_spec("journal.pre_append:crash")
+        with pytest.raises(InjectedCrash) as exc_info:
+            injector.fire("journal.pre_append")
+        assert exc_info.value.point == "journal.pre_append"
+        assert injector.fired == [("journal.pre_append", "crash")]
+
+    def test_each_rule_fires_once(self):
+        injector = FaultInjector.from_spec("p:crash@2")
+        injector.fire("p")
+        with pytest.raises(InjectedCrash):
+            injector.fire("p")
+        injector.fire("p")  # pass 3: the @2 rule is spent
+        assert len(injector.fired) == 1
+
+    def test_injected_crash_is_not_a_repro_error(self):
+        # The HTTP layer must treat it as an unexpected death (500),
+        # never as a polite client error (400).
+        from repro.errors import ReproError
+
+        assert not issubclass(InjectedCrash, ReproError)
+        assert issubclass(InjectedCrash, RuntimeError)
+
+    def test_nth_counting_is_thread_safe(self):
+        injector = FaultInjector.from_spec("p:crash@100")
+        crashes = []
+
+        def worker():
+            for _ in range(25):
+                try:
+                    injector.fire("p")
+                except InjectedCrash:
+                    crashes.append(1)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(crashes) == 1  # exactly one pass was the 100th
+
+
+class TestPartialCut:
+    def test_cut_is_a_proper_prefix(self):
+        injector = FaultInjector.from_spec("w:partial", seed=7)
+        cut = injector.partial_cut("w", 100)
+        assert cut is not None and 1 <= cut < 100
+
+    def test_cut_is_seed_deterministic(self):
+        cuts = [
+            FaultInjector.from_spec("w:partial", seed=42).partial_cut("w", 500)
+            for _ in range(3)
+        ]
+        assert len(set(cuts)) == 1
+
+    def test_no_rule_means_no_cut(self):
+        injector = FaultInjector.from_spec("other:partial")
+        assert injector.partial_cut("w", 100) is None
+
+    def test_tiny_writes_are_never_cut(self):
+        injector = FaultInjector.from_spec("w:partial")
+        assert injector.partial_cut("w", 1) is None
+
+
+class TestProcessInjector:
+    def test_env_spec_activates(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "journal.post_append:crash")
+        monkeypatch.setenv("REPRO_FAULTS_SEED", "9")
+        set_injector(None)  # force a re-read of the environment
+        injector = get_injector()
+        assert injector.active
+        with pytest.raises(InjectedCrash):
+            injector.fire("journal.post_append")
+
+    def test_default_is_inert(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FAULTS", raising=False)
+        set_injector(None)
+        assert not get_injector().active
+
+    def test_set_injector_returns_previous(self):
+        mine = FaultInjector.from_spec("p:crash")
+        previous = set_injector(mine)
+        try:
+            assert get_injector() is mine
+        finally:
+            set_injector(previous)
