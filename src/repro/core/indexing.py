@@ -267,6 +267,25 @@ class DatasetIndex:
             claim_map=claim_map,
         )
 
+    def validate_extension(
+        self,
+        *,
+        tasks: Iterable[Task] = (),
+        workers: Iterable[WorkerProfile] = (),
+        claims: Mapping[tuple[str, str], str] | None = None,
+    ) -> None:
+        """Validate a delta without building the extension.
+
+        Runs exactly the checks :meth:`extended` performs — colliding
+        ids, claims on unknown tasks or workers, duplicate ``(worker,
+        task)`` claims, out-of-domain values — and raises
+        :class:`~repro.errors.DataFormatError` on the first violation,
+        touching nothing.  The durable streaming store calls this
+        *before* a batch reaches the write-ahead journal, so a rejected
+        batch never persists as an unreplayable record.
+        """
+        self._validate_extension(tuple(tasks), tuple(workers), dict(claims or {}))
+
     def _validate_extension(
         self,
         tasks: tuple[Task, ...],

@@ -19,6 +19,8 @@ exactly-once dedup key for retried ingests.
 
 from __future__ import annotations
 
+import itertools
+import os
 import threading
 import time
 from collections import OrderedDict
@@ -40,7 +42,7 @@ from ..mechanism.imc2 import IMC2, IMC2Outcome
 from ..obs.logging import get_logger
 from ..obs.metrics import get_registry
 from ..types import Task, WorkerProfile
-from .faults import get_injector
+from .faults import InjectedCrash, get_injector
 from .ingest import ClaimBatch, batch_from_json
 from .journal import (
     CampaignJournal,
@@ -50,6 +52,7 @@ from .journal import (
     config_fingerprint,
     config_from_payload,
     create_record,
+    fsync_dir,
     journal_path,
     list_journals,
     read_journal,
@@ -64,6 +67,9 @@ __all__ = [
     "DuplicateCampaignError",
     "UnknownCampaignError",
 ]
+
+#: Process-wide counter making concurrent temp-journal names unique.
+_TMP_JOURNAL_IDS = itertools.count(1)
 
 
 class UnknownCampaignError(ReproError, KeyError):
@@ -231,6 +237,11 @@ class CampaignStore:
         self.last_recovery: list[dict] = []
         if self.journal_dir is not None:
             self.journal_dir.mkdir(parents=True, exist_ok=True)
+            # A crash between writing a create record to its temp file
+            # and linking it into place leaves an orphan: the campaign
+            # was never acknowledged, so the debris just goes.
+            for orphan in self.journal_dir.glob(".*.tmp"):
+                orphan.unlink(missing_ok=True)
             # Mark every journaled campaign recovering *now*, so a
             # deferred (background) recovery never races a request into
             # a half-empty store: until replay finishes these ids 503.
@@ -263,6 +274,19 @@ class CampaignStore:
             raise UnknownCampaignError(campaign_id)
         self._campaigns.move_to_end(campaign_id)
         return campaign
+
+    def _tmp_journal_path(self, campaign_id: str) -> Path:
+        """A unique temp name for a journal being born.
+
+        Unique per attempt, so two racing creates of the same id never
+        share a temp file — the loser deletes only its own.  The names
+        are dot-prefixed and ``.tmp``-suffixed, invisible to
+        :func:`list_journals` and swept as orphans on startup.
+        """
+        name = journal_path(self.journal_dir, campaign_id).name
+        return self.journal_dir / (
+            f".{name}.{os.getpid()}.{next(_TMP_JOURNAL_IDS)}.tmp"
+        )
 
     # -- operations ------------------------------------------------------
 
@@ -302,21 +326,16 @@ class CampaignStore:
         workers = tuple(workers)
         if tasks or workers:
             online.ingest(ClaimBatch(tasks=tasks, workers=workers))
-        evicted_campaigns: list[Campaign] = []
-        with self._lock:
-            if campaign_id in self._campaigns:
-                raise DuplicateCampaignError(campaign_id)
-            if campaign_id in self._recovering:
-                raise CampaignRecoveringError(campaign_id)
-            if self.journal_dir is not None:
-                # The create record is the journal's first entry; a
-                # stale file left by an LRU-evicted ancestor describes
-                # a campaign that no longer exists and must go first.
-                # One small fsync under the store lock keeps the
-                # journal birth atomic with the map insert.
-                path = journal_path(self.journal_dir, campaign_id)
-                path.unlink(missing_ok=True)
-                journal = CampaignJournal(path)
+        journal: CampaignJournal | None = None
+        if self.journal_dir is not None:
+            # Journal birth also happens out here: writing and fsyncing
+            # the create record — seed batch included — can be slow and
+            # must not stall requests to other campaigns.  The record
+            # goes to a private temp file; only the atomic link into
+            # place happens under the store lock, which keeps the
+            # journal's appearance atomic with the map insert.
+            journal = CampaignJournal(self._tmp_journal_path(campaign_id))
+            try:
                 journal.append(
                     create_record(
                         campaign_id,
@@ -328,15 +347,38 @@ class CampaignStore:
                         seed_workers=workers,
                     )
                 )
-                campaign.journal = journal
-            self._campaigns[campaign_id] = campaign
-            while (
-                self.max_campaigns is not None
-                and len(self._campaigns) > self.max_campaigns
-            ):
-                _, evicted = self._campaigns.popitem(last=False)
-                evicted_campaigns.append(evicted)
-            live = len(self._campaigns)
+            except BaseException:
+                journal.delete()
+                raise
+        evicted_campaigns: list[Campaign] = []
+        try:
+            with self._lock:
+                if campaign_id in self._campaigns:
+                    raise DuplicateCampaignError(campaign_id)
+                if campaign_id in self._recovering:
+                    raise CampaignRecoveringError(campaign_id)
+                if journal is not None:
+                    # One atomic rename, clobbering any stale file an
+                    # LRU-evicted ancestor of this id left behind.
+                    journal.rename_to(
+                        journal_path(self.journal_dir, campaign_id)
+                    )
+                    fsync_dir(self.journal_dir)
+                    campaign.journal = journal
+                self._campaigns[campaign_id] = campaign
+                while (
+                    self.max_campaigns is not None
+                    and len(self._campaigns) > self.max_campaigns
+                ):
+                    _, evicted = self._campaigns.popitem(last=False)
+                    evicted_campaigns.append(evicted)
+                live = len(self._campaigns)
+        except (DuplicateCampaignError, CampaignRecoveringError):
+            # Lost the race to another create: discard the never-linked
+            # temp journal; the winner's file is untouched.
+            if journal is not None:
+                journal.delete()
+            raise
         registry = get_registry()
         registry.counter(
             "streaming_campaigns_created_total", "Campaigns created."
@@ -385,10 +427,12 @@ class CampaignStore:
         lost — and returns ``None`` without touching the estimator.
         Without ``seq`` the store assigns the next number itself.
 
-        On a journaled campaign the batch record is appended and
-        fsync'd *before* the estimator runs: an acknowledged ingest
-        survives any crash, and a crash between append and apply is
-        replayed to the same state on recovery.
+        On a journaled campaign the batch is validated against the
+        campaign first, then its record is appended and fsync'd
+        *before* the estimator runs: a batch destined for a 400 never
+        reaches the journal, an acknowledged ingest survives any crash,
+        and a crash between append and apply is replayed to the same
+        state on recovery.
         """
         campaign = self.get(campaign_id)
         registry = get_registry()
@@ -411,8 +455,16 @@ class CampaignStore:
                         f"seq {campaign.applied_seq} (expected "
                         f"{campaign.applied_seq + 1})"
                     )
+            pre_append = 0
             if campaign.journal is not None:
+                # Validate against the campaign *before* the append: a
+                # batch the estimator would reject (unknown references,
+                # duplicate claims, out-of-domain values — a 400) must
+                # never persist, or every later recovery would replay
+                # into the same error and report the journal corrupt.
+                campaign.online.validate(batch)
                 journal_start = time.perf_counter()
+                pre_append = campaign.journal.size
                 try:
                     campaign.journal.append(batch_record(seq, batch))
                 except JournalError:
@@ -432,7 +484,31 @@ class CampaignStore:
                     "Wall time of one fsync'd journal append.",
                 ).observe(time.perf_counter() - journal_start)
             start = time.perf_counter()
-            update = campaign.online.ingest(batch)
+            try:
+                update = campaign.online.ingest(batch)
+            except InjectedCrash:
+                # Simulated process death: a real crash leaves the
+                # journaled record behind, and so must we — recovery
+                # replaying it is exactly the contract under test.
+                raise
+            except BaseException:
+                # The batch passed validation, so this is unexpected —
+                # but the journal may only hold applied-or-replayable
+                # records, and a retry under the same seq must not
+                # append a second record.  Undo the append, then
+                # surface the original error (a failed rollback marks
+                # the journal failed; later appends refuse).
+                if campaign.journal is not None:
+                    try:
+                        campaign.journal.rollback_to(pre_append)
+                    except JournalError:
+                        pass
+                    registry.counter(
+                        "streaming_journal_rollbacks_total",
+                        "Journal records rolled back because the "
+                        "estimator refused the batch after the append.",
+                    ).inc()
+                raise
             elapsed = time.perf_counter() - start
             campaign.applied_seq = seq
             campaign.claims_ingested += batch.n_claims

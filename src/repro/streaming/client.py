@@ -6,8 +6,12 @@ exponential backoff with deterministic jitter on transient failures
 (connection refused/reset, timeouts, 5xx — honouring ``Retry-After``
 on a 503), and **client-assigned batch sequence numbers** so a retried
 ingest is exactly-once: the seq is chosen once per batch and reused
-across every retry, and the server deduplicates anything at or below
-its applied watermark.  A crashed-and-recovered server therefore sees
+across every retry, the server deduplicates anything at or below its
+applied watermark, and a client with no counter for a campaign (a
+restarted process resuming an existing stream) bootstraps from the
+server's durable ``applied_seq`` instead of guessing 1 — guessing
+would have every batch dropped as a duplicate.  A
+crashed-and-recovered server therefore sees
 the same batch stream as an uninterrupted one, whether the original
 attempt died before the journal append (replay applies the retry) or
 after it (replay already applied the batch; the retry is a no-op).
@@ -200,9 +204,19 @@ class StreamingClient:
         reused verbatim on every retry — the whole point: if the first
         attempt was journaled but its acknowledgement lost, the retry
         answers ``{"duplicate": true}`` instead of double-applying.
+
+        A client that did not create the campaign itself (a restarted
+        process ingesting into an existing campaign) first fetches the
+        campaign summary and resumes from ``applied_seq + 1`` —
+        defaulting to 1 would sit at or below the server's watermark,
+        and every batch would be acknowledged as a duplicate and
+        silently dropped.
         """
         if seq is None:
-            seq = self._next_seq.get(campaign_id, 1)
+            seq = self._next_seq.get(campaign_id)
+            if seq is None:
+                summary = self.snapshot(campaign_id)
+                seq = int(summary.get("applied_seq", 0)) + 1
         payload = batch_to_json(batch, include_truth=True)
         payload["seq"] = seq
         reply = self.request(

@@ -67,6 +67,7 @@ __all__ = [
     "config_from_payload",
     "config_to_payload",
     "create_record",
+    "fsync_dir",
     "journal_path",
     "list_journals",
     "read_journal",
@@ -327,6 +328,24 @@ def journal_path(journal_dir: str | Path, campaign_id: str) -> Path:
     return Path(journal_dir) / (quote(campaign_id, safe="") + _SUFFIX)
 
 
+def fsync_dir(path: str | Path) -> None:
+    """Fsync a directory so a rename/creation inside it is durable.
+
+    Best-effort: filesystems that refuse directory fds (or platforms
+    without them) degrade to the pre-fsync durability, never an error.
+    """
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
 def list_journals(journal_dir: str | Path) -> list[tuple[str, Path]]:
     """``(campaign_id, path)`` for every journal file, sorted by id."""
     base = Path(journal_dir)
@@ -370,6 +389,14 @@ class CampaignJournal:
     @property
     def failed(self) -> bool:
         return self._failed
+
+    @property
+    def size(self) -> int:
+        """Current journal length in bytes — the rollback point callers
+        capture before an append they may need to undo."""
+        if self._size is None:
+            self._handle()
+        return self._size
 
     def _handle(self):
         if self._file is None:
@@ -422,11 +449,47 @@ class CampaignJournal:
             self._failed = True
 
     def truncate_to(self, size: int) -> None:
-        """Drop a torn tail: shrink the file to ``size`` bytes."""
+        """Shrink the file to ``size`` bytes — durably.
+
+        Used to heal a torn tail during recovery and to roll back an
+        appended record whose apply was rejected.  The fsync matters in
+        the rollback case: the dropped record was already durable, so
+        without it a crash could resurrect a batch the client was told
+        was refused.
+        """
         handle = self._handle()
         handle.truncate(size)
         handle.seek(size)
+        os.fsync(handle.fileno())
         self._size = size
+
+    def rollback_to(self, size: int) -> None:
+        """Durably undo appends past ``size``; failure poisons the journal.
+
+        This is the undo path for a record whose apply was refused
+        *after* the append was already fsync'd.  If even the truncate
+        fails, the refused record cannot be removed — the journal marks
+        itself failed so no later append buries it under acknowledged
+        records, and the server degrades to 503s.
+        """
+        try:
+            self.truncate_to(size)
+        except OSError as exc:
+            self._failed = True
+            raise JournalWriteError(
+                f"journal rollback of {self.path.name} failed: {exc}"
+            ) from exc
+
+    def rename_to(self, path: str | Path) -> None:
+        """Atomically move the journal file to ``path``.
+
+        ``os.replace`` both links the journal at its final name and
+        clobbers any stale ancestor file in one step; the open handle
+        keeps following the inode, so appends continue seamlessly.
+        """
+        path = Path(path)
+        os.replace(self.path, path)
+        self.path = path
 
     def flush(self) -> None:
         if self._file is not None:

@@ -245,6 +245,22 @@ class OnlineDATE:
 
     # -- write side ------------------------------------------------------
 
+    def validate(self, batch: ClaimBatch) -> None:
+        """Check ``batch`` against the campaign without applying it.
+
+        Raises :class:`~repro.errors.DataFormatError` for exactly the
+        violations :meth:`ingest` would reject — unknown task/worker
+        references, duplicate claims, out-of-domain values — and
+        touches no state.  The durable store runs this before the
+        write-ahead journal append, so a batch destined for a 400 never
+        becomes a journal record that would poison every later replay.
+        """
+        if batch.is_empty:
+            return
+        self._index.validate_extension(
+            tasks=batch.tasks, workers=batch.workers, claims=batch.claims
+        )
+
     def ingest(self, batch: ClaimBatch) -> OnlineUpdate:
         """Apply one claim batch and re-estimate the affected tasks."""
         if batch.is_empty:

@@ -258,6 +258,115 @@ class TestExactlyOnce:
         app.store.close()
 
 
+class TestRejectedBatchHygiene:
+    """A batch the estimator refuses must never persist in the journal."""
+
+    def test_invalid_batch_is_rejected_before_the_append(
+        self, tmp_path, batches
+    ):
+        from repro.errors import DataFormatError
+        from repro.streaming.ingest import ClaimBatch
+
+        wal = tmp_path / "wal"
+        store = CampaignStore(journal_dir=wal)
+        store.create("c")
+        store.ingest("c", batches[0], seq=1)
+        poisoned = ClaimBatch(claims={("ghost-worker", "ghost-task"): "x"})
+        with pytest.raises(DataFormatError):
+            store.ingest("c", poisoned, seq=2)
+        # The journal holds only the valid batch; the watermark did not
+        # advance, so a corrected batch retries under the SAME seq and
+        # appends exactly one record.
+        scan = read_journal(journal_path(wal, "c"))
+        assert [r["seq"] for r in scan.records if r["kind"] == "batch"] == [1]
+        assert store.get("c").applied_seq == 1
+        assert store.ingest("c", batches[1], seq=2) is not None
+        store.close()
+
+        # Every acknowledged batch survives the restart — the poisoned
+        # ingest left no record to trip the replay.
+        recovered = CampaignStore(journal_dir=wal)
+        assert recovered.last_recovery[0]["status"] == "recovered"
+        assert recovered.get("c").applied_seq == 2
+        recovered.close()
+
+    def test_apply_failure_rolls_the_journal_back(self, tmp_path, batches):
+        wal = tmp_path / "wal"
+        store = CampaignStore(journal_dir=wal)
+        store.create("c")
+        store.ingest("c", batches[0], seq=1)
+        campaign = store.get("c")
+        pre_crash = campaign.journal.size
+        # An estimator failure *after* the fsync'd append (validation
+        # passed, apply blew up): the record must be rolled back so the
+        # journal never holds an unapplied, unacknowledged batch.
+        original_ingest = campaign.online.ingest
+        campaign.online.ingest = lambda batch: (_ for _ in ()).throw(
+            RuntimeError("estimator exploded")
+        )
+        with pytest.raises(RuntimeError, match="estimator exploded"):
+            store.ingest("c", batches[1], seq=2)
+        campaign.online.ingest = original_ingest
+        assert campaign.journal.size == pre_crash
+        assert campaign.applied_seq == 1
+        # The retried seq appends exactly one record and applies.
+        assert store.ingest("c", batches[1], seq=2) is not None
+        scan = read_journal(journal_path(wal, "c"))
+        assert [r["seq"] for r in scan.records if r["kind"] == "batch"] == [1, 2]
+        store.close()
+
+        recovered = CampaignStore(journal_dir=wal)
+        assert recovered.last_recovery[0]["status"] == "recovered"
+        assert recovered.get("c").applied_seq == 2
+        recovered.close()
+
+    def test_injected_crash_during_apply_keeps_the_record(
+        self, tmp_path, batches
+    ):
+        # A *crash* (process death) between append and apply is the
+        # opposite contract: the record is durable and must survive for
+        # recovery to replay — only refusals roll back.
+        wal = tmp_path / "wal"
+        store = CampaignStore(journal_dir=wal)
+        store.create("c")
+        campaign = store.get("c")
+        original_ingest = campaign.online.ingest
+        campaign.online.ingest = lambda batch: (_ for _ in ()).throw(
+            InjectedCrash("store.mid_apply")
+        )
+        with pytest.raises(InjectedCrash):
+            store.ingest("c", batches[0], seq=1)
+        campaign.online.ingest = original_ingest
+        scan = read_journal(journal_path(wal, "c"))
+        assert [r["seq"] for r in scan.records if r["kind"] == "batch"] == [1]
+        store.close()
+
+        recovered = CampaignStore(journal_dir=wal)
+        assert recovered.get("c").applied_seq == 1
+        recovered.close()
+
+    def test_http_invalid_batch_is_400_and_journal_stays_clean(
+        self, tmp_path, batches
+    ):
+        from repro.streaming.ingest import batch_to_json
+
+        wal = tmp_path / "wal"
+        app = StreamingApp(CampaignStore(journal_dir=wal))
+        app.handle("POST", "/campaigns", {"campaign_id": "c"})
+        payload = batch_to_json(batches[0], include_truth=True)
+        payload["seq"] = 1
+        assert app.handle("POST", "/campaigns/c/claims", payload)[0] == 200
+        bad = {
+            "claims": [{"worker": "ghost", "task": "ghost", "value": "x"}],
+            "seq": 2,
+        }
+        status, body = app.handle("POST", "/campaigns/c/claims", bad)
+        assert status == 400 and "unknown" in body["error"]
+        scan = read_journal(journal_path(wal, "c"))
+        assert sum(1 for r in scan.records if r["kind"] == "batch") == 1
+        app.store.close()
+
+
 class TestDegradation:
     def test_journal_write_failure_is_503_and_not_applied(
         self, tmp_path, batches

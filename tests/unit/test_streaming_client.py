@@ -190,6 +190,28 @@ class TestExactlyOnceSequencing:
         sent = [json.loads(req.data) for req, _ in transport.requests[2:]]
         assert [body["seq"] for body in sent] == [1, 1]
 
+    def test_restarted_client_resumes_from_server_watermark(
+        self, monkeypatch, sleeps
+    ):
+        # No create_campaign call: this client has no counter for "c"
+        # (a restarted process resuming an existing stream).  It must
+        # fetch the campaign summary and continue at applied_seq + 1 —
+        # defaulting to 1 would be acknowledged as a duplicate and
+        # silently dropped.
+        transport = _Transport([
+            {"campaign_id": "c", "applied_seq": 4},  # GET /campaigns/c
+            {"batch": 5},                            # ingest seq 5
+            {"batch": 6},                            # ingest seq 6
+        ])
+        client = _client(monkeypatch, transport, sleeps)
+        client.ingest("c", _batch(0))
+        client.ingest("c", _batch(1))
+        first = transport.requests[0][0]
+        assert first.get_method() == "GET"
+        assert first.full_url.endswith("/campaigns/c")
+        sent = [json.loads(req.data) for req, _ in transport.requests[1:]]
+        assert [body["seq"] for body in sent] == [5, 6]
+
     def test_campaign_ids_are_percent_encoded(self, monkeypatch, sleeps):
         transport = _Transport([{}])
         client = _client(monkeypatch, transport, sleeps)
